@@ -1,0 +1,41 @@
+"""Shared helpers and scale knobs for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(§4) at a reduced scale — the paper's campaign ran for five months on two
+64-core servers; these benches run the same pipelines over a handful of
+seeds so the whole suite finishes in minutes while preserving the
+qualitative shape of each result.
+"""
+
+from __future__ import annotations
+
+#: Scale of the RQ1 bug-finding campaign (Tables 3/6, Figures 7/10/11).
+CAMPAIGN_SCALE = dict(num_seeds=4, rng_seed=2024, max_programs_per_type=1,
+                      opt_levels=("-O0", "-O1", "-Os", "-O2", "-O3"))
+
+#: Scale of the RQ2 generator comparison (Tables 4/5).
+COMPARISON_SCALE = dict(num_seeds=4, rng_seed=7, programs_per_seed=8,
+                        max_programs_per_type=2)
+
+
+def bench_print(*parts) -> None:
+    """Print a line of the regenerated table/figure and append it to the
+    benchmark report file, so the results survive output capturing."""
+    import os
+    print(*parts)
+    report = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir,
+                          "benchmark_report.txt")
+    with open(report, "a", encoding="utf-8") as handle:
+        handle.write(" ".join(str(p) for p in parts) + "\n")
+
+
+def print_table(title: str, headers, rows) -> None:
+    from repro.utils.text import format_table
+    bench_print()
+    bench_print(f"=== {title} ===")
+    bench_print(format_table(headers, rows))
+
+
+def run_once(benchmark, func):
+    """Run *func* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,18 @@
+"""Session-scoped fixtures shared by the benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+from bench_common import CAMPAIGN_SCALE, COMPARISON_SCALE
+
+from repro.analysis import run_bug_finding_campaign, run_generator_comparison
+
+
+@pytest.fixture(scope="session")
+def campaign_result():
+    return run_bug_finding_campaign(**CAMPAIGN_SCALE)
+
+
+@pytest.fixture(scope="session")
+def generator_comparison():
+    return run_generator_comparison(**COMPARISON_SCALE)

@@ -1,0 +1,24 @@
+"""Figure 10 — stable compiler versions affected by the reported bugs.
+
+Paper shape: many of the found bugs are long-latent — they affect a range of
+stable releases, not just trunk.
+"""
+
+from bench_common import bench_print, CAMPAIGN_SCALE, print_table, run_once
+
+from repro.analysis import ascii_bar_chart, figure10_affected_versions, run_bug_finding_campaign
+
+
+def test_fig10_affected_versions(benchmark):
+    campaign = run_once(benchmark,
+                        lambda: run_bug_finding_campaign(**CAMPAIGN_SCALE))
+    headers, rows = figure10_affected_versions(campaign)
+    print_table("Figure 10: stable versions affected by the found bugs", headers, rows)
+    bench_print(ascii_bar_chart(rows))
+
+    affected_versions = [row for row in rows if row[1] > 0]
+    assert len(affected_versions) >= 5, \
+        "found bugs should affect multiple stable releases (long-latent bugs)"
+    # At least one bug affects an old release (five or more versions back).
+    old_release_rows = [row for row in rows[:4] if row[1] > 0]
+    assert old_release_rows, "some bugs should date back to early releases"

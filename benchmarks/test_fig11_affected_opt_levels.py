@@ -1,0 +1,23 @@
+"""Figure 11 — optimization levels affected by the reported bugs.
+
+Paper shape: sanitizer bugs affect all optimization levels (testing only
+-O0 would miss many), with no single level dominating.
+"""
+
+from bench_common import bench_print, CAMPAIGN_SCALE, print_table, run_once
+
+from repro.analysis import ascii_bar_chart, figure11_affected_opt_levels, run_bug_finding_campaign
+
+
+def test_fig11_affected_opt_levels(benchmark):
+    campaign = run_once(benchmark,
+                        lambda: run_bug_finding_campaign(**CAMPAIGN_SCALE))
+    headers, rows = figure11_affected_opt_levels(campaign)
+    print_table("Figure 11: affected optimization levels", headers, rows)
+    bench_print(ascii_bar_chart(rows))
+
+    counts = {row[0]: row[1] for row in rows}
+    affected_levels = [level for level, count in counts.items() if count > 0]
+    assert len(affected_levels) >= 3, "bugs should span several optimization levels"
+    # Higher levels must be affected: testing only -O0 would miss bugs.
+    assert counts["-O2"] + counts["-O3"] + counts["-Os"] > 0

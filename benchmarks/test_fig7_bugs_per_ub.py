@@ -1,0 +1,20 @@
+"""Figure 7 — number of bugs triggered by each kind of UB.
+
+Paper shape: bugs are found across many UB kinds, with buffer overflow
+(ASan) contributing the most.
+"""
+
+from bench_common import bench_print, CAMPAIGN_SCALE, print_table, run_once
+
+from repro.analysis import ascii_bar_chart, figure7_bugs_per_ub, run_bug_finding_campaign
+
+
+def test_fig7_bugs_per_ub(benchmark):
+    campaign = run_once(benchmark,
+                        lambda: run_bug_finding_campaign(**CAMPAIGN_SCALE))
+    headers, rows = figure7_bugs_per_ub(campaign)
+    print_table("Figure 7: bugs per UB kind", headers, rows)
+    bench_print(ascii_bar_chart(rows))
+
+    assert sum(row[1] for row in rows) == len(campaign.bug_reports)
+    assert len(rows) >= 3, "bugs should be triggered by several UB kinds"

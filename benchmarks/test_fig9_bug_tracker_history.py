@@ -1,0 +1,28 @@
+"""Figure 9 — sanitizer FN bug reports per year in the GCC/LLVM bug trackers
+(§4.2, "How significant are the bug-finding results?").
+
+This is survey data shipped with the reproduction: 40 reports for GCC and 24
+for LLVM over the past decade, of which the paper's campaign accounts for
+16 (40%) and 14 (58%).
+"""
+
+from bench_common import bench_print, print_table, run_once
+
+from repro.analysis import ascii_bar_chart, figure9_summary, figure9_tracker_history
+
+
+def test_fig9_bug_tracker_history(benchmark):
+    headers, rows = run_once(benchmark, figure9_tracker_history)
+    print_table("Figure 9: FN reports per year in the bug trackers", headers, rows)
+    bench_print(ascii_bar_chart([[row[0], row[1] + row[2]] for row in rows]))
+
+    summary = figure9_summary()
+    bench_print(f"GCC:  {summary['gcc']['found_by_ubfuzz']}/{summary['gcc']['total_reports']} "
+          f"({100 * summary['gcc']['fraction']:.0f}%) found by UBfuzz")
+    bench_print(f"LLVM: {summary['llvm']['found_by_ubfuzz']}/{summary['llvm']['total_reports']} "
+          f"({100 * summary['llvm']['fraction']:.0f}%) found by UBfuzz")
+
+    assert sum(row[1] for row in rows) == 40
+    assert sum(row[2] for row in rows) == 24
+    assert round(summary["gcc"]["fraction"], 2) == 0.40
+    assert round(summary["llvm"]["fraction"], 2) == 0.58

@@ -1,0 +1,38 @@
+"""RQ3 — precision and recall of the crash-site mapping oracle (§4.4).
+
+Paper shape: of the thousands of discrepancy-causing programs, crash-site
+mapping selects only the sanitizer-bug-caused ones (perfect precision in the
+paper's manual analysis) and drops essentially no true bug (100% recall on
+the sampled dropped discrepancies).
+
+Here ground truth is exact: a discrepancy is truly bug-caused iff rebuilding
+the silent configuration with an empty defect registry makes it detect the
+UB.
+"""
+
+from bench_common import CAMPAIGN_SCALE, print_table, run_once
+
+from repro.analysis import evaluate_oracle_accuracy, run_bug_finding_campaign
+
+
+def test_rq3_crash_site_mapping_accuracy(benchmark):
+    def evaluate():
+        campaign = run_bug_finding_campaign(**CAMPAIGN_SCALE)
+        return evaluate_oracle_accuracy(campaign, dropped_sample=30)
+
+    accuracy = run_once(benchmark, evaluate)
+    print_table("RQ3: crash-site mapping accuracy",
+                ["Metric", "Value"],
+                [["discrepant programs", accuracy.discrepant_programs],
+                 ["selected by the oracle", accuracy.selected],
+                 ["dropped by the oracle", accuracy.dropped],
+                 ["true positives", accuracy.true_positives],
+                 ["false positives", accuracy.false_positives],
+                 ["sampled dropped", accuracy.sampled_dropped],
+                 ["missed bugs in sample", accuracy.missed_bugs_in_sample],
+                 ["precision", f"{accuracy.precision:.2f}"],
+                 ["recall (sampled)", f"{accuracy.recall_on_sample:.2f}"]])
+
+    assert accuracy.selected > 0
+    assert accuracy.precision >= 0.9, "crash-site mapping should be near-perfectly precise"
+    assert accuracy.recall_on_sample >= 0.9, "crash-site mapping should drop no true bug"

@@ -1,0 +1,25 @@
+"""Table 6 — bug categories according to root-cause analysis (§4.6).
+
+Paper shape: bugs fall into several distinct root-cause categories, with
+both compilers represented; "Incorrect Sanitizer Optimization" and check
+insertion mistakes dominate.
+"""
+
+from bench_common import CAMPAIGN_SCALE, print_table, run_once
+
+from repro.analysis import run_bug_finding_campaign, table6_root_causes
+from repro.sanitizers.defects import CATEGORIES
+
+
+def test_table6_root_causes(benchmark):
+    campaign = run_once(benchmark,
+                        lambda: run_bug_finding_campaign(**CAMPAIGN_SCALE))
+    headers, rows = table6_root_causes(campaign)
+    print_table("Table 6: bug categories by root cause", headers, rows)
+
+    assert [row[0] for row in rows[:len(CATEGORIES)]] == list(CATEGORIES)
+    total = sum(row[1] + row[2] for row in rows)
+    confirmed = sum(1 for report in campaign.bug_reports if report.category)
+    assert total == confirmed
+    populated_categories = sum(1 for row in rows if row[1] + row[2] > 0)
+    assert populated_categories >= 3, "bugs should span several root causes"

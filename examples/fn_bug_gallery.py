@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""A gallery of false-negative bugs in the style of the paper's Figure 12.
+
+Each entry is a small program whose UB one sanitizer configuration misses
+(because of a seeded defect in the simulated compiler) while another
+configuration detects it.  The script compiles each program under both
+configurations, shows the reports, and reduces one bug-triggering program
+with the delta-debugging reducer (the paper uses C-Reduce for this step).
+
+Run:  python examples/fn_bug_gallery.py
+"""
+
+from repro import GccCompiler, LlvmCompiler, UBProgram, UBType
+from repro.core import ProgramReducer, TestConfig, make_fn_bug_predicate
+
+GALLERY = [
+    # (title, source, ub_type, detecting config, missing config)
+    ("Fig. 12b: boolean widened through a cast hides a division by zero "
+     "(GCC UBSan, all levels)",
+     """\
+int a, c;
+short b;
+long d;
+int main() {
+  a = (short)(d == c | b > 9) / 0;
+  return a;
+}
+""",
+     UBType.DIVIDE_BY_ZERO,
+     TestConfig("llvm", "ubsan", "-O0"), TestConfig("gcc", "ubsan", "-O0")),
+
+    ("Fig. 12e: ++(*p) misleads the null-pointer check (LLVM UBSan)",
+     """\
+int main() {
+  int *a = 0;
+  int b[3] = {1, 1, 1};
+  ++b[2];
+  ++(*a);
+  return 0;
+}
+""",
+     UBType.NULL_POINTER_DEREF,
+     TestConfig("gcc", "ubsan", "-O0"), TestConfig("llvm", "ubsan", "-O0")),
+
+    ("Fig. 12f: 'uninit - 1' treated as fully defined (LLVM MSan at -O2)",
+     """\
+int main() {
+  unsigned char a;
+  if (a - 1)
+    __builtin_printf("boom");
+  return 1;
+}
+""",
+     UBType.USE_OF_UNINIT_MEMORY,
+     TestConfig("llvm", "msan", "-O0"), TestConfig("llvm", "msan", "-O2")),
+
+    ("Fig. 1/12a-like: store through a global pointer loses its ASan check "
+     "(GCC ASan at -O2)",
+     """\
+struct a { int x; };
+struct a b[2];
+struct a *c = b, *d = b;
+int k = 0;
+int main() {
+  *c = *b;
+  k = 2;
+  *c = *(d + k);
+  return c->x;
+}
+""",
+     UBType.BUFFER_OVERFLOW_POINTER,
+     TestConfig("gcc", "asan", "-O0"), TestConfig("gcc", "asan", "-O2")),
+]
+
+
+def build(config: TestConfig, source: str):
+    compiler = (GccCompiler(version=13) if config.compiler == "gcc"
+                else LlvmCompiler(version=17))
+    return compiler.compile(source, opt_level=config.opt_level,
+                            sanitizer=config.sanitizer).run()
+
+
+def main() -> None:
+    for title, source, ub_type, detecting, missing in GALLERY:
+        print(f"=== {title} ===")
+        detected = build(detecting, source)
+        missed = build(missing, source)
+        print(f"  {detecting.label:32s} -> "
+              f"{detected.report.kind if detected.crashed else 'no report'}")
+        print(f"  {missing.label:32s} -> "
+              f"{missed.report.kind if missed.crashed else 'no report (FALSE NEGATIVE)'}")
+        print()
+
+    # Reduce the last gallery entry before "reporting" it.
+    title, source, ub_type, detecting, missing = GALLERY[-1]
+    program = UBProgram(source=source, ub_type=ub_type)
+    predicate = make_fn_bug_predicate(program, detecting, missing)
+    reducer = ProgramReducer(predicate, max_rounds=4)
+    result = reducer.reduce(source)
+    print("=== reduced bug report (C-Reduce step) ===")
+    print(f"removed {result.removed_statements} statements "
+          f"({result.attempts} attempts); reduced program:")
+    print(result.reduced_source)
+
+
+if __name__ == "__main__":
+    main()

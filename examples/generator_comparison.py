@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Compare UB program generators (the paper's Table 4, RQ2).
+
+Runs the UBfuzz generator, the MUSIC mutation baseline and the Csmith-NoSafe
+baseline over the same seeds, classifies every produced program with the
+sanitizers, and prints the per-UB-type counts.
+
+Run:  python examples/generator_comparison.py       (about a minute)
+"""
+
+from repro.analysis import run_generator_comparison, table4_generator_comparison
+from repro.utils.text import format_table
+
+
+def main() -> None:
+    print("generating and classifying programs (3 seeds per generator)...")
+    comparison = run_generator_comparison(num_seeds=3, rng_seed=3,
+                                          programs_per_seed=6,
+                                          max_programs_per_type=2)
+    headers, rows = table4_generator_comparison(comparison)
+    print("\n=== Table 4 (scaled): UB programs per generator ===")
+    print(format_table(headers, rows))
+
+    print("\nobservations (compare with the paper's Table 4):")
+    print(" * UBfuzz produces UB programs for every UB type and no UB-free output")
+    print(" * MUSIC mutants are mostly UB-free (blind syntactic mutation)")
+    print(" * Csmith-NoSafe only produces arithmetic UB "
+          "(integer/shift overflow, divide-by-zero)")
+
+    sample = next(p for programs in comparison.programs["ubfuzz"][:1]
+                  for p in [programs])
+    print("\n=== one generated UB program (UBfuzz) ===")
+    print(f"UB type: {sample.ub_type.value}; mutation: {sample.description}")
+    print("\n".join(sample.source.splitlines()[:20]))
+    print("...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""UBfuzz reproduction: finding false-negative bugs in sanitizer implementations.
+
+This package reproduces, in pure Python, the system described in
+"UBfuzz: Finding Bugs in Sanitizer Implementations" (ASPLOS 2024):
+
+* :mod:`repro.cdsl`       — the C-subset frontend (lexer, parser, sema, printer);
+* :mod:`repro.vm`         — the execution substrate (flat memory, interpreter,
+                            tracing, profiling);
+* :mod:`repro.optim`      — AST-level optimizer passes and per-compiler pipelines;
+* :mod:`repro.sanitizers` — ASan / UBSan / MSan passes, runtimes and seeded
+                            defect models;
+* :mod:`repro.compilers`  — the simulated GCC and LLVM drivers;
+* :mod:`repro.seedgen`    — Csmith-like seed generator plus MUSIC / Juliet baselines;
+* :mod:`repro.core`       — the paper's contribution: shadow-statement-insertion
+                            UB generation, crash-site mapping, differential
+                            testing, the fuzzing campaign, triage and reduction;
+* :mod:`repro.coverage`   — coverage measurement (Table 5);
+* :mod:`repro.analysis`   — experiment drivers and table/figure renderers.
+"""
+
+from repro.cdsl import analyze, parse_program, print_program
+from repro.compilers import (
+    ALL_OPT_LEVELS,
+    CompiledBinary,
+    CompileOptions,
+    GccCompiler,
+    LlvmCompiler,
+    make_compiler,
+)
+from repro.core import (
+    ALL_UB_TYPES,
+    BugReport,
+    BugTriager,
+    CampaignConfig,
+    CampaignResult,
+    DifferentialTester,
+    FuzzingCampaign,
+    ProgramReducer,
+    TestConfig,
+    UBGenerator,
+    UBProgram,
+    UBType,
+    classify_discrepancy,
+    is_sanitizer_bug,
+    is_sanitizer_bug_from_results,
+)
+from repro.seedgen import (
+    CsmithGenerator,
+    CsmithNoSafeGenerator,
+    GeneratorConfig,
+    MusicMutator,
+    SeedProgram,
+    generate_juliet_suite,
+)
+from repro.vm import ExecutionResult, SanitizerReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analyze", "parse_program", "print_program",
+    "ALL_OPT_LEVELS", "CompiledBinary", "CompileOptions", "GccCompiler",
+    "LlvmCompiler", "make_compiler",
+    "ALL_UB_TYPES", "BugReport", "BugTriager", "CampaignConfig",
+    "CampaignResult", "DifferentialTester", "FuzzingCampaign",
+    "ProgramReducer", "TestConfig", "UBGenerator", "UBProgram", "UBType",
+    "classify_discrepancy", "is_sanitizer_bug", "is_sanitizer_bug_from_results",
+    "CsmithGenerator", "CsmithNoSafeGenerator", "GeneratorConfig",
+    "MusicMutator", "SeedProgram", "generate_juliet_suite",
+    "ExecutionResult", "SanitizerReport",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Evaluation drivers and table/figure renderers for the paper's experiments."""
+
+from repro.analysis.bugtracker import TrackerHistory, figure9_rows, tracker_history
+from repro.analysis.campaign import (
+    BaselineBugHunt,
+    GeneratorComparison,
+    OracleAccuracy,
+    classify_ub,
+    evaluate_oracle_accuracy,
+    juliet_programs,
+    measure_corpus_coverage,
+    run_baseline_bug_hunt,
+    run_bug_finding_campaign,
+    run_generator_comparison,
+)
+from repro.analysis.figures import (
+    ascii_bar_chart,
+    figure7_bugs_per_ub,
+    figure9_summary,
+    figure9_tracker_history,
+    figure10_affected_versions,
+    figure11_affected_opt_levels,
+)
+from repro.analysis.tables import (
+    bug_summary_rows,
+    table2_sanitizer_support,
+    table3_bug_status,
+    table4_generator_comparison,
+    table5_coverage,
+    table6_root_causes,
+)
+
+__all__ = [
+    "TrackerHistory", "figure9_rows", "tracker_history",
+    "BaselineBugHunt", "GeneratorComparison", "OracleAccuracy",
+    "classify_ub", "evaluate_oracle_accuracy", "juliet_programs",
+    "measure_corpus_coverage", "run_baseline_bug_hunt",
+    "run_bug_finding_campaign", "run_generator_comparison",
+    "ascii_bar_chart", "figure7_bugs_per_ub", "figure9_summary",
+    "figure9_tracker_history", "figure10_affected_versions",
+    "figure11_affected_opt_levels",
+    "bug_summary_rows", "table2_sanitizer_support", "table3_bug_status",
+    "table4_generator_comparison", "table5_coverage", "table6_root_causes",
+]

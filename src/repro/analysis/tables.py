@@ -1,0 +1,129 @@
+"""Render campaign/experiment results as the paper's tables.
+
+Each ``tableN_*`` function returns ``(headers, rows)`` ready to be printed
+with :func:`repro.utils.text.format_table`; the benchmark harness prints
+them so the regenerated table sits next to the paper's in the bench output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.campaign import GeneratorComparison
+from repro.core.bugs import STATUS_CONFIRMED, STATUS_FIXED, STATUS_INVALID, BugReport
+from repro.core.fuzzer import CampaignResult
+from repro.core.ub_types import ALL_UB_TYPES, SANITIZERS_FOR_UB, UBType
+from repro.coverage.report import CoverageReport
+from repro.sanitizers.defects import CATEGORIES
+
+Rows = List[List[object]]
+Table = Tuple[List[str], Rows]
+
+#: The (compiler, sanitizer) columns of Table 3, in the paper's order.
+TABLE3_COLUMNS = (("gcc", "asan"), ("gcc", "ubsan"),
+                  ("llvm", "asan"), ("llvm", "ubsan"), ("llvm", "msan"))
+
+
+def table2_sanitizer_support() -> Table:
+    """Table 2: UB types supported by each sanitizer."""
+    headers = ["UB", "Sanitizer"]
+    rows: Rows = []
+    for ub_type in ALL_UB_TYPES:
+        sanitizers = ", ".join(s.replace("asan", "ASan").replace("ubsan", "UBSan")
+                               .replace("msan", "MSan")
+                               for s in SANITIZERS_FOR_UB[ub_type])
+        rows.append([ub_type.display_name, sanitizers])
+    return headers, rows
+
+
+def table3_bug_status(campaign: CampaignResult) -> Table:
+    """Table 3: reported/confirmed/fixed/invalid bugs per compiler+sanitizer."""
+    headers = ["Status"] + [f"{c.upper()} {s.upper()}" for c, s in TABLE3_COLUMNS] + ["Total"]
+    by_column: Dict[Tuple[str, str], List[BugReport]] = {col: [] for col in TABLE3_COLUMNS}
+    for report in campaign.bug_reports:
+        key = (report.compiler, report.sanitizer)
+        if key in by_column:
+            by_column[key].append(report)
+
+    def count(column: Tuple[str, str], predicate) -> int:
+        return sum(1 for report in by_column[column] if predicate(report))
+
+    rows: Rows = []
+    predicates = [
+        ("Reported", lambda r: True),
+        ("Confirmed", lambda r: r.status in (STATUS_CONFIRMED, STATUS_FIXED)),
+        ("Fixed", lambda r: r.status == STATUS_FIXED),
+        ("Invalid", lambda r: r.status == STATUS_INVALID),
+    ]
+    for label, predicate in predicates:
+        cells: List[object] = [label]
+        total = 0
+        for column in TABLE3_COLUMNS:
+            value = count(column, predicate)
+            total += value
+            cells.append(value)
+        cells.append(total)
+        rows.append(cells)
+    return headers, rows
+
+
+def table4_generator_comparison(comparison: GeneratorComparison) -> Table:
+    """Table 4: number of UB programs per generator, per UB type."""
+    headers = (["Generator"] + [ub.display_name for ub in ALL_UB_TYPES]
+               + ["Total", "No UB"])
+    rows = [comparison.row("ubfuzz"), comparison.row("music"),
+            comparison.row("csmith-nosafe")]
+    return headers, rows
+
+
+def table5_coverage(reports: Dict[str, Dict[str, CoverageReport]]) -> Table:
+    """Table 5: line/function/branch coverage per corpus and compiler."""
+    headers = ["Corpus", "GCC LC", "GCC FC", "GCC BC",
+               "LLVM LC", "LLVM FC", "LLVM BC"]
+    corpora: List[str] = []
+    for per_corpus in reports.values():
+        for name in per_corpus:
+            if name not in corpora:
+                corpora.append(name)
+    order = ["seeds", "music", "csmith-nosafe", "ubfuzz"]
+    corpora.sort(key=lambda name: order.index(name) if name in order else len(order))
+    rows: Rows = []
+    for corpus in corpora:
+        cells: List[object] = [corpus]
+        for compiler in ("gcc", "llvm"):
+            report = reports.get(compiler, {}).get(corpus)
+            if report is None:
+                cells.extend(["-", "-", "-"])
+            else:
+                cells.extend([f"{100 * report.line_coverage:.1f}%",
+                              f"{100 * report.function_coverage:.1f}%",
+                              f"{100 * report.branch_coverage:.1f}%"])
+        rows.append(cells)
+    return headers, rows
+
+
+def table6_root_causes(campaign: CampaignResult) -> Table:
+    """Table 6: bug categories according to root cause analysis."""
+    headers = ["Category", "GCC", "LLVM"]
+    counts: Dict[str, Dict[str, int]] = {category: {"gcc": 0, "llvm": 0}
+                                         for category in CATEGORIES}
+    for report in campaign.bug_reports:
+        if report.category is None:
+            continue
+        counts.setdefault(report.category, {"gcc": 0, "llvm": 0})
+        counts[report.category][report.compiler] = (
+            counts[report.category].get(report.compiler, 0) + 1)
+    rows = [[category, values.get("gcc", 0), values.get("llvm", 0)]
+            for category, values in counts.items()]
+    return headers, rows
+
+
+def bug_summary_rows(reports: Sequence[BugReport]) -> Rows:
+    """A flat listing of found bugs (used by examples and docs)."""
+    rows: Rows = []
+    for report in reports:
+        rows.append([report.bug_id, report.compiler, report.sanitizer,
+                     report.ub_type.display_name, report.status,
+                     report.category or "-",
+                     ",".join(report.affected_opt_levels) or "-"])
+    return rows

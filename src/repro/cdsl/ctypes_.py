@@ -1,0 +1,272 @@
+"""The type system of the C subset used throughout the reproduction.
+
+The subset covers what the paper's UB types (Table 1) require:
+
+* signed and unsigned integer types of 8/16/32/64 bits,
+* pointers (arbitrary depth),
+* one-dimensional constant-size arrays,
+* simple structs with scalar/array fields,
+* functions.
+
+Types are immutable value objects; two structurally equal types compare
+equal, which keeps semantic analysis and the interpreter simple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+
+class CType:
+    """Base class of all types in the subset."""
+
+    def sizeof(self) -> int:
+        raise NotImplementedError
+
+    def alignof(self) -> int:
+        return self.sizeof()
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    @property
+    def is_struct(self) -> bool:
+        return isinstance(self, StructType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.is_integer or self.is_pointer
+
+
+@dataclass(frozen=True)
+class VoidType(CType):
+    def sizeof(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(CType):
+    """An integer type with an explicit bit width and signedness."""
+
+    name: str
+    bits: int
+    signed: bool
+
+    def sizeof(self) -> int:
+        return self.bits // 8
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.signed else (1 << self.bits) - 1
+
+    def contains(self, value: int) -> bool:
+        """Return True if *value* is representable without wrapping."""
+        return self.min_value <= value <= self.max_value
+
+    def wrap(self, value: int) -> int:
+        """Reduce *value* modulo 2**bits and reinterpret per signedness.
+
+        This models what actually happens on two's-complement hardware: it is
+        how the VM stores out-of-range results (the C abstract machine calls
+        signed overflow undefined, but the simulated hardware still produces
+        a wrapped bit pattern).
+        """
+        value &= (1 << self.bits) - 1
+        if self.signed and value >= (1 << (self.bits - 1)):
+            value -= 1 << self.bits
+        return value
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PointerType(CType):
+    pointee: CType
+
+    def sizeof(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        return f"{self.pointee} *"
+
+
+@dataclass(frozen=True)
+class ArrayType(CType):
+    element: CType
+    length: int
+
+    def sizeof(self) -> int:
+        return self.element.sizeof() * self.length
+
+    def alignof(self) -> int:
+        return self.element.alignof()
+
+    def __str__(self) -> str:
+        return f"{self.element} [{self.length}]"
+
+
+@dataclass(frozen=True)
+class StructField:
+    name: str
+    ctype: CType
+    offset: int
+
+
+@dataclass(frozen=True)
+class StructType(CType):
+    """A struct with a fixed layout computed at construction time."""
+
+    tag: str
+    fields: Tuple[StructField, ...] = field(default_factory=tuple)
+
+    @staticmethod
+    def create(tag: str, members: Sequence[Tuple[str, CType]]) -> "StructType":
+        """Build a struct type, laying out fields with natural alignment."""
+        fields: list[StructField] = []
+        offset = 0
+        max_align = 1
+        for name, ctype in members:
+            align = ctype.alignof()
+            max_align = max(max_align, align)
+            offset = _align_up(offset, align)
+            fields.append(StructField(name, ctype, offset))
+            offset += ctype.sizeof()
+        total = _align_up(offset, max_align) if members else 1
+        struct = StructType(tag, tuple(fields))
+        object.__setattr__(struct, "_size", total)
+        object.__setattr__(struct, "_align", max_align)
+        return struct
+
+    def sizeof(self) -> int:
+        return getattr(self, "_size", 1)
+
+    def alignof(self) -> int:
+        return getattr(self, "_align", 1)
+
+    def field_named(self, name: str) -> Optional[StructField]:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        return None
+
+    def __str__(self) -> str:
+        return f"struct {self.tag}"
+
+
+@dataclass(frozen=True)
+class FunctionType(CType):
+    return_type: CType
+    params: Tuple[CType, ...]
+
+    def sizeof(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params) or "void"
+        return f"{self.return_type} (*)({params})"
+
+
+def _align_up(value: int, align: int) -> int:
+    if align <= 1:
+        return value
+    return (value + align - 1) // align * align
+
+
+# ---------------------------------------------------------------------------
+# Canonical instances
+# ---------------------------------------------------------------------------
+
+VOID = VoidType()
+CHAR = IntType("char", 8, True)
+UCHAR = IntType("unsigned char", 8, False)
+SHORT = IntType("short", 16, True)
+USHORT = IntType("unsigned short", 16, False)
+INT = IntType("int", 32, True)
+UINT = IntType("unsigned int", 32, False)
+LONG = IntType("long", 64, True)
+ULONG = IntType("unsigned long", 64, False)
+BOOL_RESULT = INT  # C comparisons and logical operators yield int
+
+SIGNED_TYPES = (CHAR, SHORT, INT, LONG)
+UNSIGNED_TYPES = (UCHAR, USHORT, UINT, ULONG)
+INTEGER_TYPES = SIGNED_TYPES + UNSIGNED_TYPES
+
+_BY_NAME = {t.name: t for t in INTEGER_TYPES}
+_BY_NAME["void"] = VOID
+
+
+def integer_type_named(name: str) -> CType:
+    """Look up a builtin type by its C spelling (e.g. ``"unsigned int"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown builtin type: {name!r}") from exc
+
+
+def pointer_to(ctype: CType) -> PointerType:
+    return PointerType(ctype)
+
+
+def array_of(element: CType, length: int) -> ArrayType:
+    return ArrayType(element, length)
+
+
+def decay(ctype: CType) -> CType:
+    """Array-to-pointer decay as applied in expression contexts."""
+    if isinstance(ctype, ArrayType):
+        return PointerType(ctype.element)
+    return ctype
+
+
+def integer_promote(ctype: CType) -> CType:
+    """C integer promotion: types narrower than int are promoted to int."""
+    if isinstance(ctype, IntType) and ctype.bits < INT.bits:
+        return INT
+    return ctype
+
+
+def usual_arithmetic_conversion(lhs: CType, rhs: CType) -> CType:
+    """The (simplified) usual arithmetic conversions for two integer types."""
+    lhs = integer_promote(lhs)
+    rhs = integer_promote(rhs)
+    if not isinstance(lhs, IntType) or not isinstance(rhs, IntType):
+        return lhs if isinstance(lhs, IntType) else rhs
+    if lhs == rhs:
+        return lhs
+    if lhs.signed == rhs.signed:
+        return lhs if lhs.bits >= rhs.bits else rhs
+    unsigned, signed = (lhs, rhs) if not lhs.signed else (rhs, lhs)
+    if unsigned.bits >= signed.bits:
+        return unsigned
+    return signed
+
+
+def is_compatible_pointer(lhs: CType, rhs: CType) -> bool:
+    """Loose pointer compatibility used by semantic analysis."""
+    if not (isinstance(lhs, PointerType) and isinstance(rhs, PointerType)):
+        return False
+    if isinstance(lhs.pointee, VoidType) or isinstance(rhs.pointee, VoidType):
+        return True
+    return lhs.pointee == rhs.pointee

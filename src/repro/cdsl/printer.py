@@ -1,0 +1,295 @@
+"""Pretty-printer: AST back to C source text.
+
+UBfuzz's pipeline is *generate seed → mutate AST → print → re-parse →
+compile*, exactly like the paper's tool emits a mutated C file that GCC and
+LLVM then compile.  Printing one statement per line keeps the ``(line,
+offset)`` crash sites stable and readable.
+
+The printer is precedence-aware so the printed text parses back to an
+equivalent AST (`tests/cdsl/test_roundtrip.py` checks this property with
+hypothesis-generated programs).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cdsl import ast_nodes as ast
+from repro.cdsl import ctypes_ as ct
+
+# Precedence levels, higher binds tighter.  Mirrors the parser's table.
+_BINARY_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+_PREC_ASSIGN = 0
+_PREC_UNARY = 11
+_PREC_POSTFIX = 12
+_PREC_PRIMARY = 13
+
+
+class Printer:
+    """Stateless printer; create one and call :meth:`print_unit`."""
+
+    def __init__(self, indent_width: int = 2) -> None:
+        self.indent_width = indent_width
+
+    # -- public API ----------------------------------------------------------
+
+    def print_unit(self, unit: ast.TranslationUnit) -> str:
+        lines: List[str] = []
+        for decl in unit.decls:
+            lines.extend(self._print_top_level(decl))
+        return "\n".join(lines) + "\n"
+
+    def print_stmt(self, stmt: ast.Stmt) -> str:
+        return "\n".join(self._print_statement(stmt, 0))
+
+    def print_expr(self, expr: ast.Expr) -> str:
+        return self._expr(expr, _PREC_ASSIGN)
+
+    # -- declarations --------------------------------------------------------
+
+    def _print_top_level(self, decl: ast.Node) -> List[str]:
+        if isinstance(decl, ast.StructDef):
+            return self._print_struct_def(decl)
+        if isinstance(decl, ast.DeclStmt):
+            return [self._declarator_text(d) + ";" for d in decl.decls]
+        if isinstance(decl, ast.VarDecl):
+            return [self._declarator_text(decl) + ";"]
+        if isinstance(decl, ast.FunctionDecl):
+            return self._print_function(decl)
+        raise TypeError(f"cannot print top-level node {type(decl).__name__}")
+
+    def _print_struct_def(self, decl: ast.StructDef) -> List[str]:
+        struct = decl.struct_type
+        lines = [f"struct {struct.tag} {{"]
+        for field in struct.fields:
+            lines.append(" " * self.indent_width
+                         + self._declare(field.ctype, field.name) + ";")
+        lines.append("};")
+        return lines
+
+    def _print_function(self, fn: ast.FunctionDecl) -> List[str]:
+        params = ", ".join(self._declare(p.ctype, p.name) for p in fn.params)
+        if not params:
+            params = "void"
+        header = f"{self._type_text(fn.return_type)} {fn.name}({params})"
+        if fn.body is None:
+            return [header + ";"]
+        lines = [header + " {"]
+        for stmt in fn.body.stmts:
+            lines.extend(self._print_statement(stmt, 1))
+        lines.append("}")
+        return lines
+
+    def _decl_stmt_text(self, stmt: ast.DeclStmt) -> str:
+        # All declarators in one DeclStmt share a base type; print them
+        # as separate full declarators joined by commas for fidelity.
+        parts = [self._declarator_text(d) for d in stmt.decls]
+        if len(parts) == 1:
+            return parts[0] + ";"
+        # Multiple declarators: only merge when they share the same base
+        # spelling; otherwise emit separate statements joined by "; ".
+        return "; ".join(parts) + ";"
+
+    def _declarator_text(self, decl: ast.VarDecl) -> str:
+        quals = " ".join(q for q in decl.qualifiers if q != "extern")
+        text = self._declare(decl.ctype, decl.name)
+        if quals:
+            text = f"{quals} {text}"
+        if decl.init is not None:
+            text += " = " + self._init_text(decl.init)
+        return text
+
+    def _init_text(self, init: ast.Node) -> str:
+        if isinstance(init, ast.InitList):
+            inner = ", ".join(self._init_text(item) for item in init.items)
+            return "{" + inner + "}"
+        return self._expr(init, _PREC_ASSIGN + 1)
+
+    # -- types ---------------------------------------------------------------
+
+    def _type_text(self, ctype: ct.CType) -> str:
+        if isinstance(ctype, ct.StructType):
+            return f"struct {ctype.tag}"
+        if isinstance(ctype, ct.PointerType):
+            return f"{self._type_text(ctype.pointee)}*"
+        return str(ctype)
+
+    def _declare(self, ctype: ct.CType, name: str) -> str:
+        """Spell a declaration of *name* with type *ctype*."""
+        suffix = ""
+        while isinstance(ctype, ct.ArrayType):
+            suffix += f"[{ctype.length}]"
+            ctype = ctype.element
+        stars = ""
+        while isinstance(ctype, ct.PointerType):
+            stars += "*"
+            ctype = ctype.pointee
+        base = f"struct {ctype.tag}" if isinstance(ctype, ct.StructType) else str(ctype)
+        return f"{base} {stars}{name}{suffix}"
+
+    # -- statements ----------------------------------------------------------
+
+    def _print_statement(self, stmt: ast.Stmt, depth: int) -> List[str]:
+        pad = " " * (self.indent_width * depth)
+        if isinstance(stmt, ast.DeclStmt):
+            # One declarator per line so that printing is a fixpoint of
+            # parse-then-print (multi-declarator statements re-parse as
+            # separate declarations).
+            return [pad + self._declarator_text(d) + ";" for d in stmt.decls]
+        if isinstance(stmt, ast.ExprStmt):
+            return [pad + self._expr(stmt.expr, _PREC_ASSIGN) + ";"]
+        if isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is None:
+                return [pad + "return;"]
+            return [pad + "return " + self._expr(stmt.value, _PREC_ASSIGN) + ";"]
+        if isinstance(stmt, ast.BreakStmt):
+            return [pad + "break;"]
+        if isinstance(stmt, ast.ContinueStmt):
+            return [pad + "continue;"]
+        if isinstance(stmt, ast.EmptyStmt):
+            return [pad + ";"]
+        if isinstance(stmt, ast.CompoundStmt):
+            lines = [pad + "{"]
+            for inner in stmt.stmts:
+                lines.extend(self._print_statement(inner, depth + 1))
+            lines.append(pad + "}")
+            return lines
+        if isinstance(stmt, ast.IfStmt):
+            lines = [pad + f"if ({self._expr(stmt.cond, _PREC_ASSIGN)})"]
+            lines.extend(self._print_block_or_stmt(stmt.then, depth))
+            if stmt.otherwise is not None:
+                lines.append(pad + "else")
+                lines.extend(self._print_block_or_stmt(stmt.otherwise, depth))
+            return lines
+        if isinstance(stmt, ast.WhileStmt):
+            lines = [pad + f"while ({self._expr(stmt.cond, _PREC_ASSIGN)})"]
+            lines.extend(self._print_block_or_stmt(stmt.body, depth))
+            return lines
+        if isinstance(stmt, ast.ForStmt):
+            init = ""
+            if isinstance(stmt.init, ast.DeclStmt):
+                init = self._decl_stmt_text(stmt.init)[:-1]  # strip ";"
+            elif isinstance(stmt.init, ast.ExprStmt):
+                init = self._expr(stmt.init.expr, _PREC_ASSIGN)
+            elif isinstance(stmt.init, ast.Expr):
+                init = self._expr(stmt.init, _PREC_ASSIGN)
+            cond = self._expr(stmt.cond, _PREC_ASSIGN) if stmt.cond is not None else ""
+            step = self._expr(stmt.step, _PREC_ASSIGN) if stmt.step is not None else ""
+            lines = [pad + f"for ({init}; {cond}; {step})"]
+            lines.extend(self._print_block_or_stmt(stmt.body, depth))
+            return lines
+        raise TypeError(f"cannot print statement {type(stmt).__name__}")
+
+    def _print_block_or_stmt(self, stmt: ast.Stmt, depth: int) -> List[str]:
+        if isinstance(stmt, ast.CompoundStmt):
+            return self._print_statement(stmt, depth)
+        return self._print_statement(stmt, depth + 1)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr, min_prec: int) -> str:
+        text, prec = self._expr_with_prec(expr)
+        if prec < min_prec:
+            return f"({text})"
+        return text
+
+    def _expr_with_prec(self, expr: ast.Expr) -> tuple[str, int]:
+        if isinstance(expr, ast.IntLiteral):
+            return self._literal_text(expr), _PREC_PRIMARY
+        if isinstance(expr, ast.StringLiteral):
+            return '"' + expr.value + '"', _PREC_PRIMARY
+        if isinstance(expr, ast.Identifier):
+            return expr.name, _PREC_PRIMARY
+        if isinstance(expr, ast.BinaryOp):
+            prec = _BINARY_PRECEDENCE[expr.op]
+            lhs = self._expr(expr.lhs, prec)
+            rhs = self._expr(expr.rhs, prec + 1)
+            return f"{lhs} {expr.op} {rhs}", prec
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._expr(expr.operand, _PREC_UNARY)
+            return f"{expr.op}{operand}", _PREC_UNARY
+        if isinstance(expr, ast.IncDec):
+            operand = self._expr(expr.operand, _PREC_UNARY)
+            if expr.is_prefix:
+                return f"{expr.op}{operand}", _PREC_UNARY
+            return f"{operand}{expr.op}", _PREC_POSTFIX
+        if isinstance(expr, ast.Assignment):
+            target = self._expr(expr.target, _PREC_UNARY)
+            value = self._expr(expr.value, _PREC_ASSIGN)
+            return f"{target} {expr.op} {value}", _PREC_ASSIGN
+        if isinstance(expr, ast.ArraySubscript):
+            base = self._expr(expr.base, _PREC_POSTFIX)
+            index = self._expr(expr.index, _PREC_ASSIGN)
+            return f"{base}[{index}]", _PREC_POSTFIX
+        if isinstance(expr, ast.Deref):
+            pointer = self._expr(expr.pointer, _PREC_UNARY)
+            return f"*{pointer}", _PREC_UNARY
+        if isinstance(expr, ast.AddressOf):
+            operand = self._expr(expr.operand, _PREC_UNARY)
+            return f"&{operand}", _PREC_UNARY
+        if isinstance(expr, ast.MemberAccess):
+            base = self._expr(expr.base, _PREC_POSTFIX)
+            sep = "->" if expr.arrow else "."
+            return f"{base}{sep}{expr.field}", _PREC_POSTFIX
+        if isinstance(expr, ast.Cast):
+            operand = self._expr(expr.operand, _PREC_UNARY)
+            return f"({self._type_text(expr.target_type)}){operand}", _PREC_UNARY
+        if isinstance(expr, ast.Call):
+            args = ", ".join(self._expr(a, _PREC_ASSIGN + 1) for a in expr.args)
+            return f"{expr.name}({args})", _PREC_POSTFIX
+        if isinstance(expr, ast.Conditional):
+            cond = self._expr(expr.cond, 1)
+            then = self._expr(expr.then, _PREC_ASSIGN)
+            other = self._expr(expr.otherwise, _PREC_ASSIGN)
+            return f"{cond} ? {then} : {other}", _PREC_ASSIGN
+        if isinstance(expr, ast.CommaExpr):
+            parts = ", ".join(self._expr(p, _PREC_ASSIGN) for p in expr.parts)
+            # The comma operator binds weaker than assignment; report a
+            # precedence below every context so it is always parenthesised
+            # except at statement level, where parentheses are harmless.
+            return parts, -1
+        if isinstance(expr, ast.SizeofExpr):
+            if expr.target_type is not None:
+                return f"sizeof({self._type_text(expr.target_type)})", _PREC_UNARY
+            return f"sizeof {self._expr(expr.operand, _PREC_UNARY)}", _PREC_UNARY
+        if isinstance(expr, ast.ProfileHook):
+            # Profiling hooks are transparent; printing them yields the
+            # original expression (they are removed before emission anyway).
+            return self._expr_with_prec(expr.inner)
+        if isinstance(expr, ast.SanitizerCheck):
+            # Sanitizer checks live only in compiled binaries; if a check
+            # somehow reaches the printer, emit the guarded expression.
+            return self._expr_with_prec(expr.inner)
+        raise TypeError(f"cannot print expression {type(expr).__name__}")
+
+    def _literal_text(self, literal: ast.IntLiteral) -> str:
+        suffix = literal.suffix
+        value = literal.value
+        if value < 0:
+            # Negative literals do not exist in C; print as a parenthesised
+            # negation so re-parsing yields an equivalent expression.
+            return f"(-{-value}{suffix})"
+        return f"{value}{suffix}"
+
+
+_DEFAULT_PRINTER = Printer()
+
+
+def print_program(unit: ast.TranslationUnit) -> str:
+    """Print a translation unit using the default printer settings."""
+    return _DEFAULT_PRINTER.print_unit(unit)
+
+
+def print_expr(expr: ast.Expr) -> str:
+    return _DEFAULT_PRINTER.print_expr(expr)
+
+
+def print_stmt(stmt: ast.Stmt) -> str:
+    return _DEFAULT_PRINTER.print_stmt(stmt)

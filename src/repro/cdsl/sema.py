@@ -1,0 +1,381 @@
+"""Semantic analysis: scopes, name resolution and type annotation.
+
+Running :func:`analyze` over a parsed translation unit
+
+* builds the scope tree (needed by the use-after-scope UB synthesiser, which
+  must know whether a pointed-to object outlives the pointer),
+* resolves every :class:`~repro.cdsl.ast_nodes.Identifier` to a
+  :class:`VarSymbol`,
+* annotates every expression with its C type (``expr.ctype``), and
+* records the function table (user functions plus builtins).
+
+The analysis is deliberately permissive — the mutated programs produced by
+UB insertion are still *syntactically and statically* valid C, only their
+runtime behaviour is undefined, so anything the parser accepts should pass.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cdsl import ast_nodes as ast
+from repro.cdsl import ctypes_ as ct
+from repro.utils.errors import SemaError
+
+_symbol_counter = itertools.count(1)
+_scope_counter = itertools.count(1)
+
+
+@dataclass
+class Scope:
+    """A lexical scope.  Depth 0 is the global scope."""
+
+    scope_id: int
+    parent: Optional["Scope"]
+    depth: int
+    symbols: Dict[str, "VarSymbol"] = field(default_factory=dict)
+
+    def declare(self, symbol: "VarSymbol") -> None:
+        self.symbols[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Optional["VarSymbol"]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+    def is_ancestor_of(self, other: "Scope") -> bool:
+        """True if *self* encloses (or equals) *other*."""
+        scope: Optional[Scope] = other
+        while scope is not None:
+            if scope.scope_id == self.scope_id:
+                return True
+            scope = scope.parent
+        return False
+
+
+@dataclass
+class VarSymbol:
+    """A declared variable (global, local or parameter)."""
+
+    name: str
+    ctype: ct.CType
+    storage: str              # "global", "local" or "param"
+    scope: Scope
+    decl: Optional[ast.Node]
+    uid: int = field(default_factory=lambda: next(_symbol_counter))
+
+    @property
+    def is_global(self) -> bool:
+        return self.storage == "global"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VarSymbol {self.name}:{self.ctype} {self.storage}>"
+
+
+@dataclass
+class FunctionSignature:
+    name: str
+    return_type: ct.CType
+    param_types: tuple
+    variadic: bool = False
+    is_builtin: bool = False
+
+
+BUILTIN_FUNCTIONS: Dict[str, FunctionSignature] = {
+    "printf": FunctionSignature("printf", ct.INT, (ct.PointerType(ct.CHAR),), True, True),
+    "__builtin_printf": FunctionSignature("__builtin_printf", ct.INT,
+                                          (ct.PointerType(ct.CHAR),), True, True),
+    "malloc": FunctionSignature("malloc", ct.PointerType(ct.VOID), (ct.ULONG,), False, True),
+    "calloc": FunctionSignature("calloc", ct.PointerType(ct.VOID),
+                                (ct.ULONG, ct.ULONG), False, True),
+    "free": FunctionSignature("free", ct.VOID, (ct.PointerType(ct.VOID),), False, True),
+    "memset": FunctionSignature("memset", ct.PointerType(ct.VOID),
+                                (ct.PointerType(ct.VOID), ct.INT, ct.ULONG), False, True),
+    "abort": FunctionSignature("abort", ct.VOID, (), False, True),
+    "exit": FunctionSignature("exit", ct.VOID, (ct.INT,), False, True),
+}
+
+
+@dataclass
+class SemanticInfo:
+    """The result of semantic analysis over one translation unit."""
+
+    unit: ast.TranslationUnit
+    global_scope: Scope
+    scopes: List[Scope]
+    functions: Dict[str, FunctionSignature]
+    symbols: List[VarSymbol]
+
+    def symbol_named(self, name: str) -> Optional[VarSymbol]:
+        for sym in self.symbols:
+            if sym.name == name:
+                return sym
+        return None
+
+
+class Sema:
+    """The semantic analyser.  One instance analyses one translation unit."""
+
+    def __init__(self, unit: ast.TranslationUnit) -> None:
+        self.unit = unit
+        self.global_scope = Scope(next(_scope_counter), None, 0)
+        self.scopes: List[Scope] = [self.global_scope]
+        self.symbols: List[VarSymbol] = []
+        self.functions: Dict[str, FunctionSignature] = dict(BUILTIN_FUNCTIONS)
+        self.current_function: Optional[ast.FunctionDecl] = None
+
+    # -- public --------------------------------------------------------------
+
+    def analyze(self) -> SemanticInfo:
+        # Register user functions first so forward calls resolve.
+        for fn in self.unit.functions:
+            self.functions[fn.name] = FunctionSignature(
+                fn.name, fn.return_type,
+                tuple(p.ctype for p in fn.params), False, False)
+        for decl in self.unit.decls:
+            if isinstance(decl, ast.StructDef):
+                continue
+            if isinstance(decl, ast.DeclStmt):
+                for var in decl.decls:
+                    var.is_global = True
+                    self._declare_var(var, self.global_scope, "global")
+            elif isinstance(decl, ast.VarDecl):
+                decl.is_global = True
+                self._declare_var(decl, self.global_scope, "global")
+            elif isinstance(decl, ast.FunctionDecl):
+                self._analyze_function(decl)
+        return SemanticInfo(self.unit, self.global_scope, self.scopes,
+                            self.functions, self.symbols)
+
+    # -- declarations --------------------------------------------------------
+
+    def _new_scope(self, parent: Scope) -> Scope:
+        scope = Scope(next(_scope_counter), parent, parent.depth + 1)
+        self.scopes.append(scope)
+        return scope
+
+    def _declare_var(self, decl: ast.VarDecl, scope: Scope, storage: str) -> VarSymbol:
+        symbol = VarSymbol(decl.name, decl.ctype, storage, scope, decl)
+        decl.symbol = symbol
+        scope.declare(symbol)
+        self.symbols.append(symbol)
+        if decl.init is not None:
+            self._visit_initializer(decl.init, scope)
+        return symbol
+
+    def _visit_initializer(self, init: ast.Node, scope: Scope) -> None:
+        if isinstance(init, ast.InitList):
+            for item in init.items:
+                self._visit_initializer(item, scope)
+        else:
+            self._expr_type(init, scope)
+
+    def _analyze_function(self, fn: ast.FunctionDecl) -> None:
+        self.current_function = fn
+        fn_scope = self._new_scope(self.global_scope)
+        for param in fn.params:
+            symbol = VarSymbol(param.name, param.ctype, "param", fn_scope, param)
+            param.symbol = symbol
+            fn_scope.declare(symbol)
+            self.symbols.append(symbol)
+        if fn.body is not None:
+            self._analyze_compound(fn.body, fn_scope)
+        self.current_function = None
+
+    # -- statements ----------------------------------------------------------
+
+    def _analyze_compound(self, block: ast.CompoundStmt, parent: Scope) -> None:
+        scope = self._new_scope(parent)
+        block.scope_id = scope.scope_id
+        for stmt in block.stmts:
+            self._analyze_stmt(stmt, scope)
+
+    def _analyze_stmt(self, stmt: ast.Stmt, scope: Scope) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            for var in stmt.decls:
+                self._declare_var(var, scope, "local")
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr_type(stmt.expr, scope)
+        elif isinstance(stmt, ast.CompoundStmt):
+            self._analyze_compound(stmt, scope)
+        elif isinstance(stmt, ast.IfStmt):
+            self._expr_type(stmt.cond, scope)
+            self._analyze_stmt_in_child_scope(stmt.then, scope)
+            if stmt.otherwise is not None:
+                self._analyze_stmt_in_child_scope(stmt.otherwise, scope)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._expr_type(stmt.cond, scope)
+            self._analyze_stmt_in_child_scope(stmt.body, scope)
+        elif isinstance(stmt, ast.ForStmt):
+            for_scope = self._new_scope(scope)
+            if isinstance(stmt.init, ast.DeclStmt):
+                for var in stmt.init.decls:
+                    self._declare_var(var, for_scope, "local")
+            elif isinstance(stmt.init, ast.ExprStmt):
+                self._expr_type(stmt.init.expr, for_scope)
+            elif isinstance(stmt.init, ast.Expr):
+                self._expr_type(stmt.init, for_scope)
+            if stmt.cond is not None:
+                self._expr_type(stmt.cond, for_scope)
+            if stmt.step is not None:
+                self._expr_type(stmt.step, for_scope)
+            self._analyze_stmt_in_child_scope(stmt.body, for_scope)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                self._expr_type(stmt.value, scope)
+        elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt, ast.EmptyStmt)):
+            pass
+        else:
+            raise SemaError(f"unsupported statement {type(stmt).__name__}")
+
+    def _analyze_stmt_in_child_scope(self, stmt: ast.Stmt, scope: Scope) -> None:
+        """If/while/for bodies that are compounds get their own scope."""
+        if isinstance(stmt, ast.CompoundStmt):
+            self._analyze_compound(stmt, scope)
+        else:
+            self._analyze_stmt(stmt, scope)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _expr_type(self, expr: ast.Expr, scope: Scope) -> ct.CType:
+        ctype = self._compute_type(expr, scope)
+        expr.ctype = ctype
+        return ctype
+
+    def _compute_type(self, expr: ast.Expr, scope: Scope) -> ct.CType:
+        if isinstance(expr, ast.IntLiteral):
+            return _literal_type(expr)
+        if isinstance(expr, ast.StringLiteral):
+            return ct.PointerType(ct.CHAR)
+        if isinstance(expr, ast.Identifier):
+            symbol = scope.lookup(expr.name)
+            if symbol is None:
+                raise SemaError(f"use of undeclared identifier {expr.name!r} "
+                                f"at {expr.loc}")
+            expr.symbol = symbol
+            return symbol.ctype
+        if isinstance(expr, ast.BinaryOp):
+            return self._binary_type(expr, scope)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._expr_type(expr.operand, scope)
+            if expr.op == "!":
+                return ct.INT
+            return ct.integer_promote(operand)
+        if isinstance(expr, ast.IncDec):
+            return self._expr_type(expr.operand, scope)
+        if isinstance(expr, ast.Assignment):
+            target = self._expr_type(expr.target, scope)
+            self._expr_type(expr.value, scope)
+            return ct.decay(target)
+        if isinstance(expr, ast.ArraySubscript):
+            base = ct.decay(self._expr_type(expr.base, scope))
+            self._expr_type(expr.index, scope)
+            if isinstance(base, ct.PointerType):
+                return base.pointee
+            raise SemaError(f"subscripted value is not an array or pointer at {expr.loc}")
+        if isinstance(expr, ast.Deref):
+            pointer = ct.decay(self._expr_type(expr.pointer, scope))
+            if isinstance(pointer, ct.PointerType):
+                return pointer.pointee
+            raise SemaError(f"cannot dereference non-pointer at {expr.loc}")
+        if isinstance(expr, ast.AddressOf):
+            operand = self._expr_type(expr.operand, scope)
+            return ct.PointerType(operand)
+        if isinstance(expr, ast.MemberAccess):
+            base = self._expr_type(expr.base, scope)
+            if expr.arrow:
+                base = ct.decay(base)
+                if not isinstance(base, ct.PointerType):
+                    raise SemaError(f"-> applied to non-pointer at {expr.loc}")
+                base = base.pointee
+            if not isinstance(base, ct.StructType):
+                raise SemaError(f"member access on non-struct at {expr.loc}")
+            field_info = base.field_named(expr.field)
+            if field_info is None:
+                raise SemaError(f"struct {base.tag} has no field {expr.field!r}")
+            return field_info.ctype
+        if isinstance(expr, ast.Cast):
+            self._expr_type(expr.operand, scope)
+            return expr.target_type
+        if isinstance(expr, ast.Call):
+            return self._call_type(expr, scope)
+        if isinstance(expr, ast.Conditional):
+            self._expr_type(expr.cond, scope)
+            then = ct.decay(self._expr_type(expr.then, scope))
+            otherwise = ct.decay(self._expr_type(expr.otherwise, scope))
+            if then.is_integer and otherwise.is_integer:
+                return ct.usual_arithmetic_conversion(then, otherwise)
+            return then
+        if isinstance(expr, ast.CommaExpr):
+            last = ct.INT
+            for part in expr.parts:
+                last = self._expr_type(part, scope)
+            return last
+        if isinstance(expr, ast.SizeofExpr):
+            if expr.operand is not None:
+                self._expr_type(expr.operand, scope)
+            return ct.ULONG
+        if isinstance(expr, ast.ProfileHook):
+            return self._expr_type(expr.inner, scope)
+        if isinstance(expr, ast.SanitizerCheck):
+            return self._expr_type(expr.inner, scope)
+        raise SemaError(f"unsupported expression {type(expr).__name__}")
+
+    def _binary_type(self, expr: ast.BinaryOp, scope: Scope) -> ct.CType:
+        lhs = ct.decay(self._expr_type(expr.lhs, scope))
+        rhs = ct.decay(self._expr_type(expr.rhs, scope))
+        op = expr.op
+        if op in ast.BinaryOp.RELATIONAL_OPS or op in ast.BinaryOp.LOGICAL_OPS:
+            return ct.INT
+        if op in ("+", "-"):
+            if isinstance(lhs, ct.PointerType) and rhs.is_integer:
+                return lhs
+            if isinstance(rhs, ct.PointerType) and lhs.is_integer and op == "+":
+                return rhs
+            if isinstance(lhs, ct.PointerType) and isinstance(rhs, ct.PointerType):
+                return ct.LONG
+        if op in ast.BinaryOp.SHIFT_OPS:
+            return ct.integer_promote(lhs) if lhs.is_integer else ct.INT
+        if lhs.is_integer and rhs.is_integer:
+            return ct.usual_arithmetic_conversion(lhs, rhs)
+        # Mixed pointer/integer bit operations should not occur in the subset.
+        if isinstance(lhs, ct.PointerType):
+            return lhs
+        if isinstance(rhs, ct.PointerType):
+            return rhs
+        return ct.INT
+
+    def _call_type(self, expr: ast.Call, scope: Scope) -> ct.CType:
+        for arg in expr.args:
+            self._expr_type(arg, scope)
+        signature = self.functions.get(expr.name)
+        if signature is None:
+            raise SemaError(f"call to undeclared function {expr.name!r} at {expr.loc}")
+        return signature.return_type
+
+
+def _literal_type(literal: ast.IntLiteral) -> ct.CType:
+    suffix = literal.suffix.lower()
+    unsigned = "u" in suffix
+    is_long = "l" in suffix
+    if unsigned and is_long:
+        return ct.ULONG
+    if unsigned:
+        return ct.UINT if ct.UINT.contains(literal.value) else ct.ULONG
+    if is_long:
+        return ct.LONG
+    if ct.INT.contains(literal.value):
+        return ct.INT
+    if ct.UINT.contains(literal.value):
+        return ct.UINT
+    return ct.LONG
+
+
+def analyze(unit: ast.TranslationUnit) -> SemanticInfo:
+    """Run semantic analysis, annotating the AST in place."""
+    return Sema(unit).analyze()

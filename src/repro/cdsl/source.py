@@ -1,0 +1,41 @@
+"""Source locations.
+
+The crash-site mapping oracle (paper §3.3, Definition 2) identifies a crash
+site by the ``(line, offset)`` pair of the last executed instruction.  In this
+reproduction the "offset" is the 1-based column of the expression in the
+printed source program, which plays the same role as the byte offset GCC/LLVM
+debug information records within a line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class SourceLocation:
+    """A (line, column) position in a source file.  Both are 1-based.
+
+    ``line == 0`` denotes an unknown/compiler-generated location, which is
+    what instrumentation inserted by sanitizer passes carries unless it is
+    attached to an existing expression.
+    """
+
+    line: int = 0
+    col: int = 0
+
+    @property
+    def is_known(self) -> bool:
+        return self.line > 0
+
+    def site(self) -> tuple[int, int]:
+        """Return the (line, offset) tuple used by crash-site mapping."""
+        return (self.line, self.col)
+
+    def __str__(self) -> str:
+        if not self.is_known:
+            return "<unknown>"
+        return f"{self.line}:{self.col}"
+
+
+UNKNOWN_LOCATION = SourceLocation(0, 0)

@@ -1,0 +1,60 @@
+"""The output of a simulated compilation: a runnable "binary".
+
+A :class:`CompiledBinary` bundles the optimized + instrumented AST, its
+semantic information, the sanitizer runtime configuration and the debug
+metadata (source line/offset information is carried on the AST nodes, which
+is what ``-g`` provides in the real toolchain).  Calling :meth:`run`
+executes it on the VM and returns an
+:class:`~repro.vm.errors.ExecutionResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cdsl import ast_nodes as ast
+from repro.cdsl.sema import SemanticInfo
+from repro.compilers.options import CompileOptions
+from repro.vm.errors import ExecutionResult
+from repro.vm.interpreter import DEFAULT_MAX_STEPS, Interpreter
+
+
+@dataclass
+class CompiledBinary:
+    """A compiled program plus everything needed to execute it."""
+
+    unit: ast.TranslationUnit
+    sema: SemanticInfo
+    compiler: str
+    version: int
+    options: CompileOptions
+    sanitizer_pass: Optional[object] = None       # SanitizerPass instance
+    sanitizer_context: Optional[object] = None    # InstrumentationContext
+    source: str = ""
+    passes_run: tuple = ()
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        sanitizer = self.options.sanitizer or "nosan"
+        return (f"{self.compiler}-{self.version} {self.options.opt_level} "
+                f"{sanitizer}")
+
+    def build_runtime(self):
+        """Create a fresh sanitizer runtime for one execution."""
+        if self.sanitizer_pass is None or self.sanitizer_context is None:
+            return None
+        return self.sanitizer_pass.build_runtime(self.sanitizer_context)
+
+    def run(self, max_steps: int = DEFAULT_MAX_STEPS,
+            profile_collector=None) -> ExecutionResult:
+        """Execute the binary on the VM and return the result."""
+        interpreter = Interpreter(self.unit, self.sema,
+                                  runtime=self.build_runtime(),
+                                  max_steps=max_steps,
+                                  profile_collector=profile_collector)
+        return interpreter.run()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CompiledBinary {self.label}>"

@@ -1,0 +1,145 @@
+"""The simulated compiler driver.
+
+``SimulatedCompiler.compile()`` reproduces the pipeline of the paper's
+Figure 2:
+
+    source → frontend (parse + sema) → optimizer passes → sanitizer pass → binary
+
+The optimizer runs *before* the sanitizer pass, so optimizations performed
+under the assumption of UB-freedom can erase UB before the sanitizer ever
+sees it — which is why naive differential testing produces false alarms and
+the crash-site mapping oracle is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.cdsl import ast_nodes as ast
+from repro.cdsl.parser import parse_program
+from repro.cdsl.printer import print_program
+from repro.cdsl.sema import analyze
+from repro.cdsl.visitor import clone
+from repro.compilers.binary import CompiledBinary
+from repro.compilers.options import CompileOptions
+from repro.compilers.versions import trunk_version
+from repro.optim.passes import OptimizationContext
+from repro.optim.pipelines import pipeline_for
+from repro.sanitizers.base import InstrumentationContext
+from repro.sanitizers.registry import build_pass, sanitizers_supported_by
+from repro.utils.errors import CompilationError
+
+SourceLike = Union[str, ast.TranslationUnit]
+
+
+class SimulatedCompiler:
+    """Base class for the two simulated compilers (GCC and LLVM)."""
+
+    name = "cc"
+
+    def __init__(self, version: Optional[int] = None,
+                 defect_registry: Optional[Sequence] = None,
+                 coverage=None) -> None:
+        self.version = version if version is not None else trunk_version(self.name)
+        self.defect_registry = defect_registry
+        self.coverage = coverage
+
+    # -- public API -------------------------------------------------------------
+
+    def supported_sanitizers(self) -> list:
+        return sanitizers_supported_by(self.name)
+
+    def compile(self, source: SourceLike,
+                options: Optional[CompileOptions] = None,
+                opt_level: Optional[str] = None,
+                sanitizer: Optional[str] = None) -> CompiledBinary:
+        """Compile *source* and return a runnable binary.
+
+        *source* may be C text or an already-parsed translation unit (which
+        is cloned, never mutated).  Either pass a full
+        :class:`CompileOptions` or the ``opt_level`` / ``sanitizer``
+        shorthand arguments.
+        """
+        if options is None:
+            options = CompileOptions(opt_level=opt_level or "-O0",
+                                     sanitizer=sanitizer)
+        if options.sanitizer is not None \
+                and options.sanitizer not in self.supported_sanitizers():
+            raise CompilationError(
+                f"{self.name} does not support -fsanitize={options.sanitizer}")
+
+        unit, source_text = self._frontend(source)
+        sema = self._analyze(unit, source_text)
+
+        # Optimizer passes (Figure 2: they run before the sanitizer pass).
+        opt_ctx = OptimizationContext(compiler=self.name, version=self.version,
+                                      opt_level=options.opt_level,
+                                      coverage=self.coverage)
+        pipeline = pipeline_for(self.name, options.opt_level)
+        passes_run = pipeline.run(unit, sema, opt_ctx)
+        # Passes may have created new nodes (literals, rewritten branches):
+        # re-run semantic analysis so types and symbols are consistent.
+        sema = self._analyze(unit, source_text)
+
+        sanitizer_pass = None
+        sanitizer_ctx = None
+        if options.sanitizer is not None:
+            sanitizer_pass = build_pass(options.sanitizer)
+            sanitizer_ctx = InstrumentationContext.for_configuration(
+                options.sanitizer, self.name, self.version, options.opt_level,
+                registry=self.defect_registry, coverage=self.coverage)
+            sanitizer_pass.instrument(unit, sema, sanitizer_ctx)
+
+        return CompiledBinary(unit=unit, sema=sema, compiler=self.name,
+                              version=self.version, options=options,
+                              sanitizer_pass=sanitizer_pass,
+                              sanitizer_context=sanitizer_ctx,
+                              source=source_text,
+                              passes_run=tuple(passes_run))
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _frontend(self, source: SourceLike) -> tuple[ast.TranslationUnit, str]:
+        if isinstance(source, ast.TranslationUnit):
+            # Compile a private copy so callers can reuse / re-compile the
+            # same AST with other configurations.
+            unit = clone(source)
+            return unit, print_program(source)
+        try:
+            unit = parse_program(source)
+        except Exception as exc:
+            raise CompilationError(f"{self.name}: parse error: {exc}") from exc
+        return unit, source
+
+    def _analyze(self, unit: ast.TranslationUnit, source_text: str):
+        try:
+            return analyze(unit)
+        except Exception as exc:
+            raise CompilationError(f"{self.name}: semantic error: {exc}") from exc
+
+
+class GccCompiler(SimulatedCompiler):
+    """The simulated GCC: supports ASan and UBSan (no MSan, §4.1)."""
+
+    name = "gcc"
+
+
+class LlvmCompiler(SimulatedCompiler):
+    """The simulated LLVM/Clang: supports ASan, UBSan and MSan."""
+
+    name = "llvm"
+
+
+_COMPILER_CLASSES = {"gcc": GccCompiler, "llvm": LlvmCompiler}
+
+
+def make_compiler(name: str, version: Optional[int] = None,
+                  defect_registry: Optional[Sequence] = None,
+                  coverage=None) -> SimulatedCompiler:
+    """Factory: build a compiler by name ("gcc" or "llvm")."""
+    try:
+        cls = _COMPILER_CLASSES[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown compiler {name!r}") from exc
+    return cls(version=version, defect_registry=defect_registry,
+               coverage=coverage)

@@ -1,0 +1,52 @@
+"""Simulated compiler versions.
+
+The paper analyses which *stable releases* are affected by each reported bug
+(Figure 10), starting from GCC-5 (2015) and LLVM-5 (2017) — the first stable
+versions with sanitizer support.  We model the same version ranges; the
+defect registry attaches an ``introduced_version`` / ``fixed_version`` to
+every seeded bug so replaying a bug-triggering program across versions
+reproduces the figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: First stable version with sanitizer support, per the paper.
+FIRST_SANITIZER_VERSION = {"gcc": 5, "llvm": 5}
+
+#: Latest stable versions simulated ("trunk" is latest + 1).
+LATEST_STABLE_VERSION = {"gcc": 13, "llvm": 17}
+
+
+def stable_versions(compiler: str) -> List[int]:
+    """All simulated stable versions of a compiler, oldest first."""
+    first = FIRST_SANITIZER_VERSION[compiler]
+    last = LATEST_STABLE_VERSION[compiler]
+    return list(range(first, last + 1))
+
+
+def trunk_version(compiler: str) -> int:
+    """The development (trunk) version, which the fuzzing campaign tests."""
+    return LATEST_STABLE_VERSION[compiler] + 1
+
+
+def all_versions(compiler: str) -> List[int]:
+    return stable_versions(compiler) + [trunk_version(compiler)]
+
+
+def version_label(compiler: str, version: int) -> str:
+    if version > LATEST_STABLE_VERSION[compiler]:
+        return f"{compiler}-trunk"
+    return f"{compiler}-{version}"
+
+
+def release_years(compiler: str) -> Dict[int, int]:
+    """Approximate release year of each stable version (for Figure 9/10)."""
+    start_year = {"gcc": 2015, "llvm": 2017}[compiler]
+    years = {}
+    for i, version in enumerate(stable_versions(compiler)):
+        # GCC releases roughly one major per year; LLVM two (we compress to
+        # one per year for readability, which preserves the figure's shape).
+        years[version] = start_year + i
+    return years

@@ -1,0 +1,85 @@
+"""Crash-site mapping — the test oracle of the paper (§3.3, Algorithm 2).
+
+Given two binaries compiled from the same UB program, where running one
+(``b_c``) crashes with a sanitizer report and the other (``b_n``) exits
+normally, decide whether the discrepancy is a **sanitizer false-negative
+bug** or merely the effect of **compiler optimization**:
+
+* extract the crash site — the ``(line, offset)`` of the last executed
+  instruction of ``b_c`` (Definition 2);
+* if that site is also executed by ``b_n``, the optimizer did not remove the
+  UB expression, so the sanitizer in ``b_n`` missed it → a bug;
+* otherwise the UB was optimized away → not a sanitizer bug.
+
+Two implementations are provided: :func:`is_sanitizer_bug` follows
+Algorithm 2 literally (driving the LLDB-like :class:`~repro.vm.trace.Debugger`
+over both binaries), while :func:`is_sanitizer_bug_from_results` reuses
+already-collected execution results, which is what the fuzzing campaign uses
+to avoid re-running binaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.vm.errors import ExecutionResult
+from repro.vm.trace import Debugger, get_executed_sites
+
+
+@dataclass
+class OracleVerdict:
+    """The oracle's decision for one (crashing, non-crashing) binary pair."""
+
+    is_bug: bool
+    crash_site: Optional[tuple[int, int]]
+    reason: str
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.is_bug
+
+
+def is_sanitizer_bug(crashing_binary, normal_binary) -> bool:
+    """Algorithm 2, literally: debug both binaries and map the crash site."""
+    crash_sites = get_executed_sites(crashing_binary)
+    if not crash_sites:
+        return False
+    crash_site = crash_sites[-1]
+
+    debugger = Debugger()
+    debugger.init(normal_binary)
+    while debugger.is_alive():
+        if (debugger.curr_line, debugger.curr_offset) == crash_site:
+            return True
+        debugger.next_instruction()
+    return False
+
+
+def is_sanitizer_bug_from_results(crashing: ExecutionResult,
+                                  normal: ExecutionResult) -> OracleVerdict:
+    """Crash-site mapping over already-collected execution results."""
+    if not crashing.crashed:
+        return OracleVerdict(False, None, "the reference binary did not crash")
+    if normal.crashed:
+        return OracleVerdict(False, normal.crash_site,
+                             "both binaries crashed: no discrepancy")
+    crash_site = crashing.crash_site
+    if crash_site is None and crashing.site_trace:
+        crash_site = crashing.site_trace[-1]
+    if crash_site is None:
+        return OracleVerdict(False, None, "no crash site information (missing -g?)")
+    if crash_site in normal.executed_sites:
+        return OracleVerdict(True, crash_site,
+                             "crash site executed by the non-crashing binary: "
+                             "the sanitizer missed the UB")
+    return OracleVerdict(False, crash_site,
+                         "crash site not executed: the optimizer removed the UB")
+
+
+def classify_discrepancy(crashing: ExecutionResult,
+                         normal: ExecutionResult) -> str:
+    """Convenience label: "sanitizer-bug", "optimization" or "no-discrepancy"."""
+    if not crashing.crashed or normal.crashed:
+        return "no-discrepancy"
+    verdict = is_sanitizer_bug_from_results(crashing, normal)
+    return "sanitizer-bug" if verdict.is_bug else "optimization"

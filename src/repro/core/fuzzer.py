@@ -1,0 +1,233 @@
+"""The end-to-end fuzzing campaign (paper §4.1 "Testing process").
+
+The loop is exactly the paper's:
+
+1. use the Csmith-like generator to produce a well-formed seed program;
+2. for every supported UB type, run the UB generator on the seed;
+3. compile every UB program with every relevant (compiler, sanitizer,
+   optimization level) configuration and run the binaries;
+4. on a discrepancy, apply crash-site mapping to decide whether it is a
+   sanitizer FN bug;
+5. triage, deduplicate and record the resulting bug reports.
+
+A :class:`CampaignConfig` controls the scale so the same code serves both
+the quick unit tests and the benchmark harness that regenerates the paper's
+tables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.compilers.compiler import make_compiler
+from repro.compilers.options import ALL_OPT_LEVELS
+from repro.core.bugs import BugReport, BugTriager
+from repro.core.differential import (
+    DifferentialResult,
+    DifferentialTester,
+    FNBugCandidate,
+    WrongReportCandidate,
+)
+from repro.core.insertion import UBProgram
+from repro.core.ub_types import ALL_UB_TYPES, UBType
+from repro.core.ubgen import UBGenerator
+from repro.sanitizers.defects import Defect, default_defects
+from repro.seedgen.config import GeneratorConfig
+from repro.seedgen.csmith import CsmithGenerator, SeedProgram
+from repro.utils.errors import GenerationError
+
+
+@dataclass
+class CampaignConfig:
+    """Scale and behaviour knobs for one fuzzing campaign."""
+
+    num_seeds: int = 10
+    rng_seed: int = 0
+    ub_types: Sequence[UBType] = ALL_UB_TYPES
+    opt_levels: Sequence[str] = ALL_OPT_LEVELS
+    compilers: Sequence[str] = ("gcc", "llvm")
+    max_programs_per_type: Optional[int] = 2
+    max_programs_total: Optional[int] = None
+    triage: bool = True
+    defect_registry: Optional[Sequence[Defect]] = None
+    max_steps: int = 150_000
+
+
+@dataclass
+class CampaignStats:
+    """Aggregate counters collected during a campaign."""
+
+    seeds_used: int = 0
+    programs_generated: Dict[UBType, int] = field(default_factory=dict)
+    programs_tested: int = 0
+    discrepant_programs: int = 0
+    optimization_discrepancies: int = 0
+    fn_candidates: int = 0
+    wrong_report_candidates: int = 0
+    duration_seconds: float = 0.0
+
+    def total_programs(self) -> int:
+        return sum(self.programs_generated.values())
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced."""
+
+    config: CampaignConfig
+    stats: CampaignStats
+    bug_reports: List[BugReport]
+    fn_candidates: List[FNBugCandidate] = field(default_factory=list)
+    wrong_report_candidates: List[WrongReportCandidate] = field(default_factory=list)
+    differential_results: List[DifferentialResult] = field(default_factory=list)
+
+    # -- convenience aggregations used by the analysis/benchmark layer --------------
+
+    def bugs_by_compiler_sanitizer(self) -> Dict[tuple, List[BugReport]]:
+        grouped: Dict[tuple, List[BugReport]] = {}
+        for report in self.bug_reports:
+            grouped.setdefault((report.compiler, report.sanitizer), []).append(report)
+        return grouped
+
+    def bugs_by_ub_type(self) -> Dict[UBType, List[BugReport]]:
+        grouped: Dict[UBType, List[BugReport]] = {}
+        for report in self.bug_reports:
+            grouped.setdefault(report.ub_type, []).append(report)
+        return grouped
+
+    def bugs_by_category(self) -> Dict[str, List[BugReport]]:
+        grouped: Dict[str, List[BugReport]] = {}
+        for report in self.bug_reports:
+            grouped.setdefault(report.category or "Unknown", []).append(report)
+        return grouped
+
+
+class FuzzingCampaign:
+    """Drives seeds → UB programs → differential testing → bug reports."""
+
+    def __init__(self, config: Optional[CampaignConfig] = None) -> None:
+        self.config = config or CampaignConfig()
+        registry = (list(self.config.defect_registry)
+                    if self.config.defect_registry is not None
+                    else default_defects())
+        self.registry = registry
+        self.seed_generator = CsmithGenerator(
+            GeneratorConfig(seed=self.config.rng_seed))
+        self.ub_generator = UBGenerator(
+            seed=self.config.rng_seed,
+            max_programs_per_type=self.config.max_programs_per_type)
+        compilers = {name: make_compiler(name, defect_registry=registry)
+                     for name in self.config.compilers}
+        self.tester = DifferentialTester(compilers=compilers,
+                                         opt_levels=self.config.opt_levels,
+                                         max_steps=self.config.max_steps)
+        self.triager = BugTriager(registry=registry,
+                                  max_steps=self.config.max_steps)
+
+    # -- public ---------------------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        start = time.time()
+        stats = CampaignStats(programs_generated={ub: 0 for ub in self.config.ub_types})
+        fn_candidates: List[FNBugCandidate] = []
+        wrong_reports: List[WrongReportCandidate] = []
+        diff_results: List[DifferentialResult] = []
+
+        programs = self.generate_programs(stats)
+        for program in programs:
+            result = self.tester.test(program)
+            diff_results.append(result)
+            stats.programs_tested += 1
+            if result.has_discrepancy:
+                stats.discrepant_programs += 1
+            stats.optimization_discrepancies += result.optimization_discrepancies
+            fn_candidates.extend(result.fn_candidates)
+            wrong_reports.extend(result.wrong_report_candidates)
+
+        stats.fn_candidates = len(fn_candidates)
+        stats.wrong_report_candidates = len(wrong_reports)
+
+        bug_reports = self._build_reports(fn_candidates, wrong_reports)
+        stats.duration_seconds = time.time() - start
+        return CampaignResult(config=self.config, stats=stats,
+                              bug_reports=bug_reports,
+                              fn_candidates=fn_candidates,
+                              wrong_report_candidates=wrong_reports,
+                              differential_results=diff_results)
+
+    # -- steps ----------------------------------------------------------------------
+
+    def generate_seeds(self) -> List[SeedProgram]:
+        seeds: List[SeedProgram] = []
+        for index in range(self.config.num_seeds):
+            try:
+                seeds.append(self.seed_generator.generate(index))
+            except GenerationError:
+                continue
+        return seeds
+
+    def generate_programs(self, stats: Optional[CampaignStats] = None) -> List[UBProgram]:
+        stats = stats or CampaignStats(
+            programs_generated={ub: 0 for ub in self.config.ub_types})
+        programs: List[UBProgram] = []
+        for seed in self.generate_seeds():
+            stats.seeds_used += 1
+            by_type = self.ub_generator.generate_all(seed, self.config.ub_types)
+            for ub_type, generated in by_type.items():
+                stats.programs_generated[ub_type] = (
+                    stats.programs_generated.get(ub_type, 0) + len(generated))
+                programs.extend(generated)
+            if (self.config.max_programs_total is not None
+                    and len(programs) >= self.config.max_programs_total):
+                programs = programs[: self.config.max_programs_total]
+                break
+        return programs
+
+    def _build_reports(self, fn_candidates: List[FNBugCandidate],
+                       wrong_reports: List[WrongReportCandidate]) -> List[BugReport]:
+        reports: List[BugReport] = []
+        if not self.config.triage:
+            return reports
+        # Many programs expose the same defect; triage (defect bisection) is
+        # expensive, so only one representative candidate per behavioural
+        # signature is triaged.  Deduplication by defect id then merges any
+        # signatures that turn out to share a root cause.
+        for candidate in self._representative_fn_candidates(fn_candidates):
+            reports.append(self.triager.triage_fn_candidate(candidate))
+        for candidate in self._representative_wrong_reports(wrong_reports):
+            reports.append(self.triager.triage_wrong_report(candidate))
+        return self.triager.deduplicate(reports)
+
+    @staticmethod
+    def _representative_fn_candidates(
+            candidates: List[FNBugCandidate]) -> List[FNBugCandidate]:
+        seen = set()
+        representatives: List[FNBugCandidate] = []
+        for candidate in candidates:
+            config = candidate.missing.config
+            report = candidate.detecting.result.report
+            signature = (config.compiler, config.sanitizer, config.opt_level,
+                         candidate.program.ub_type,
+                         report.kind if report is not None else None)
+            if signature in seen:
+                continue
+            seen.add(signature)
+            representatives.append(candidate)
+        return representatives
+
+    @staticmethod
+    def _representative_wrong_reports(
+            candidates: List[WrongReportCandidate]) -> List[WrongReportCandidate]:
+        seen = set()
+        representatives: List[WrongReportCandidate] = []
+        for candidate in candidates:
+            signature = (candidate.second.config.compiler,
+                         candidate.second.config.sanitizer,
+                         candidate.difference.split()[0] if candidate.difference else "")
+            if signature in seen:
+                continue
+            seen.add(signature)
+            representatives.append(candidate)
+        return representatives

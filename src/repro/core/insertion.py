@@ -1,0 +1,108 @@
+"""Shadow statement insertion — ``Insert`` of Algorithm 1 (§3.2.3).
+
+Takes a seed program and one :class:`~repro.core.synthesis.ShadowMutation`
+and produces a new, self-contained UB program:
+
+1. clone the seed AST (node ids are preserved by the clone),
+2. locate the matched expression and its enclosing statement in the clone,
+3. apply the expression rewrite (``a[x]`` → ``a[x + hat]`` ...),
+4. insert the shadow statements immediately before the enclosing statement
+   (or append them to a named block for use-after-scope), and
+5. print the mutated AST back to C source, which the compilers under test
+   re-parse — exactly like the real tool writes out a mutated ``.c`` file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cdsl import ast_nodes as ast
+from repro.cdsl.parser import parse_program
+from repro.cdsl.printer import print_program
+from repro.cdsl.sema import analyze
+from repro.cdsl.visitor import clone, insert_before, replace_node, walk
+from repro.core.synthesis import ShadowMutation
+from repro.core.ub_types import UBType, sanitizers_for
+from repro.utils.errors import GenerationError
+
+
+@dataclass
+class UBProgram:
+    """A generated program containing (by construction) exactly one UB."""
+
+    source: str
+    ub_type: UBType
+    seed_index: int = -1
+    description: str = ""
+    generator: str = "ubfuzz"
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def target_sanitizers(self) -> tuple:
+        """The sanitizers that should detect this program's UB (Table 2)."""
+        return sanitizers_for(self.ub_type)
+
+    def parse(self) -> ast.TranslationUnit:
+        return parse_program(self.source)
+
+
+def apply_mutation(unit: ast.TranslationUnit, mutation: ShadowMutation,
+                   seed_index: int = -1, validate: bool = True) -> UBProgram:
+    """Apply *mutation* to a clone of *unit* and return the UB program."""
+    mutated = clone(unit)
+    by_id: Dict[int, ast.Node] = {node.node_id: node for node in walk(mutated)}
+
+    expr = by_id.get(mutation.match.expr.node_id)
+    if expr is None:
+        raise GenerationError("matched expression not found in the clone")
+
+    _apply_augmentations(mutated, expr, mutation)
+
+    if mutation.new_stmts:
+        anchor = by_id.get(mutation.match.stmt.node_id) \
+            if mutation.match.stmt is not None else None
+        if anchor is None or not insert_before(mutated, anchor, mutation.new_stmts):
+            raise GenerationError("could not insert shadow statements")
+
+    if mutation.append_to_block is not None:
+        block_id, stmt = mutation.append_to_block
+        block = by_id.get(block_id)
+        if not isinstance(block, ast.CompoundStmt):
+            raise GenerationError("target block for insertion not found")
+        block.stmts.append(stmt)
+
+    source = print_program(mutated)
+    if validate:
+        _check_still_valid(source)
+    return UBProgram(source=source, ub_type=mutation.ub_type,
+                     seed_index=seed_index, description=mutation.description,
+                     metadata={"match_node": mutation.match.expr.node_id})
+
+
+def _apply_augmentations(root: ast.Node, expr: ast.Expr,
+                         mutation: ShadowMutation) -> None:
+    for field_name, aux_name in mutation.augment:
+        aux_ref = ast.Identifier(aux_name)
+        if field_name == "__self__":
+            replacement = ast.BinaryOp("+", expr, aux_ref, loc=expr.loc)
+            if not replace_node(root, expr, replacement):
+                raise GenerationError("could not rewrite the matched expression")
+            expr = replacement
+            continue
+        current = getattr(expr, field_name, None)
+        if not isinstance(current, ast.Expr):
+            raise GenerationError(f"matched expression has no operand "
+                                  f"{field_name!r} to augment")
+        setattr(expr, field_name,
+                ast.BinaryOp("+", current, aux_ref, loc=current.loc))
+
+
+def _check_still_valid(source: str) -> None:
+    """The mutated program must still be statically valid C (it only has
+    *runtime* undefined behaviour)."""
+    try:
+        unit = parse_program(source)
+        analyze(unit)
+    except Exception as exc:
+        raise GenerationError(f"mutation produced an invalid program: {exc}") from exc

@@ -1,0 +1,131 @@
+"""Execution profiling — ``Profile`` of Algorithm 1 (paper §3.2.2).
+
+The profiler instruments a *clone* of the seed program with
+:class:`~repro.cdsl.ast_nodes.ProfileHook` wrappers around every operand of
+every matched expression, runs it once on the VM, and packages the
+observations as an :class:`ExecutionProfile` exposing the paper's queries:
+
+* ``Q_liv`` — was the matched expression executed (is it in the live region)?
+* ``Q_val`` — the observed value of an operand;
+* ``Q_mem`` — the memory object (buffer range, kind, freed/dead state) an
+  observed pointer points into;
+* ``Q_scp`` — scope information, via the statement-level execution order.
+
+One profiling run serves every UB type (the paper's implementation note:
+"the profiling overhead for all UB types is identical").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.cdsl import ast_nodes as ast
+from repro.cdsl.sema import analyze
+from repro.cdsl.visitor import clone, replace_node, walk
+from repro.core.matching import MatchedExpr
+from repro.utils.errors import ProfilingError
+from repro.vm.errors import ExecutionResult
+from repro.vm.interpreter import Interpreter
+from repro.vm.profiler import ObservedBuffer, ProfileCollector, ValueObservation
+
+
+@dataclass
+class ExecutionProfile:
+    """The dynamic profile of one seed program run (Definition 1)."""
+
+    collector: ProfileCollector
+    result: ExecutionResult
+    hooked_keys: Dict[str, List[str]] = field(default_factory=dict)
+
+    # -- the paper's queries -----------------------------------------------------
+
+    def q_liv(self, match: MatchedExpr) -> bool:
+        """True if the matched expression was executed on the profiled input."""
+        for key in self.hooked_keys.get(match.key, []):
+            if self.collector.was_executed(key):
+                return True
+        if match.stmt is not None and match.stmt.loc.is_known:
+            return match.stmt.loc.site() in self.result.executed_sites
+        return False
+
+    def q_val(self, match: MatchedExpr, role: str) -> Optional[int]:
+        """The first observed value of one operand of the match."""
+        obs = self._first(match, role)
+        return obs.value if obs is not None else None
+
+    def q_mem(self, match: MatchedExpr, role: str) -> Optional[ObservedBuffer]:
+        """The memory object the observed operand points into (or None)."""
+        obs = self._first(match, role)
+        return obs.buffer if obs is not None else None
+
+    def q_scp_executed(self, stmt: ast.Stmt) -> bool:
+        """Was *stmt* executed during the profiled run?"""
+        return stmt.loc.is_known and stmt.loc.site() in self.result.executed_sites
+
+    def q_scp_order(self, stmt: ast.Stmt) -> Optional[int]:
+        """Index of the first execution of *stmt* in the run, or None."""
+        if not stmt.loc.is_known:
+            return None
+        site = stmt.loc.site()
+        for i, executed in enumerate(self.result.site_trace):
+            if executed == site:
+                return i
+        return None
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _first(self, match: MatchedExpr, role: str) -> Optional[ValueObservation]:
+        return self.collector.first_observation(f"{match.key}:{role}")
+
+    def observations(self, match: MatchedExpr, role: str) -> List[ValueObservation]:
+        return self.collector.observations(f"{match.key}:{role}")
+
+
+class Profiler:
+    """Instruments and runs a seed program to collect its execution profile."""
+
+    def __init__(self, max_steps: int = 200_000) -> None:
+        self.max_steps = max_steps
+
+    def profile(self, unit: ast.TranslationUnit,
+                matches: Iterable[MatchedExpr]) -> ExecutionProfile:
+        """Profile *unit* with hooks for every operand of every match.
+
+        The unit is cloned before instrumentation, so the caller's AST is
+        untouched; node ids are preserved by the clone, which is how hooks
+        attached in the clone map back to the caller's matches.
+        """
+        matches = list(matches)
+        instrumented = clone(unit)
+        hooked_keys: Dict[str, List[str]] = {}
+        by_id = {node.node_id: node for node in walk(instrumented)}
+
+        for match in matches:
+            keys: List[str] = []
+            for role, operand in match.operands.items():
+                if not isinstance(operand, ast.Expr):
+                    continue
+                target = by_id.get(operand.node_id)
+                if target is None:
+                    continue
+                key = f"{match.key}:{role}"
+                hook = ast.ProfileHook(key, target, loc=target.loc)
+                if replace_node(instrumented, target, hook):
+                    by_id[operand.node_id] = hook
+                    keys.append(key)
+            hooked_keys[match.key] = keys
+
+        try:
+            sema = analyze(instrumented)
+        except Exception as exc:
+            raise ProfilingError(f"profiling instrumentation broke the "
+                                 f"program: {exc}") from exc
+        collector = ProfileCollector()
+        interpreter = Interpreter(instrumented, sema, max_steps=self.max_steps,
+                                  profile_collector=collector)
+        result = interpreter.run()
+        if result.status == "vm_error":
+            raise ProfilingError(f"profiling run failed: {result.error}")
+        return ExecutionProfile(collector=collector, result=result,
+                                hooked_keys=hooked_keys)

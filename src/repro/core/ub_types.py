@@ -1,0 +1,119 @@
+"""The undefined behaviours UBfuzz generates (paper Tables 1 and 2).
+
+Each :class:`UBType` corresponds to one row of Table 1 and knows
+
+* which sanitizers can detect it (Table 2), and
+* which sanitizer report kinds count as a successful detection.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, List, Tuple
+
+from repro.sanitizers import report as rk
+
+
+class UBType(str, Enum):
+    """The nine UB types supported by the generator (Table 1)."""
+
+    BUFFER_OVERFLOW_ARRAY = "buffer-overflow-array"
+    BUFFER_OVERFLOW_POINTER = "buffer-overflow-pointer"
+    USE_AFTER_FREE = "use-after-free"
+    USE_AFTER_SCOPE = "use-after-scope"
+    NULL_POINTER_DEREF = "null-pointer-dereference"
+    INTEGER_OVERFLOW = "integer-overflow"
+    SHIFT_OVERFLOW = "shift-overflow"
+    DIVIDE_BY_ZERO = "divide-by-zero"
+    USE_OF_UNINIT_MEMORY = "use-of-uninitialized-memory"
+
+    @property
+    def display_name(self) -> str:
+        return _DISPLAY_NAMES[self]
+
+
+_DISPLAY_NAMES: Dict[UBType, str] = {
+    UBType.BUFFER_OVERFLOW_ARRAY: "Buf. Overflow (Array)",
+    UBType.BUFFER_OVERFLOW_POINTER: "Buf. Overflow (Pointer)",
+    UBType.USE_AFTER_FREE: "Use After Free",
+    UBType.USE_AFTER_SCOPE: "Use After Scope",
+    UBType.NULL_POINTER_DEREF: "Null Ptr. Deref.",
+    UBType.INTEGER_OVERFLOW: "Integer Overflow",
+    UBType.SHIFT_OVERFLOW: "Shift Overflow",
+    UBType.DIVIDE_BY_ZERO: "Divide by Zero",
+    UBType.USE_OF_UNINIT_MEMORY: "Use of Uninit. Memory",
+}
+
+#: Table 2: the sanitizers that support detection of each UB type.
+SANITIZERS_FOR_UB: Dict[UBType, Tuple[str, ...]] = {
+    UBType.BUFFER_OVERFLOW_ARRAY: (rk.ASAN, rk.UBSAN),
+    UBType.BUFFER_OVERFLOW_POINTER: (rk.ASAN,),
+    UBType.USE_AFTER_FREE: (rk.ASAN,),
+    UBType.USE_AFTER_SCOPE: (rk.ASAN,),
+    UBType.NULL_POINTER_DEREF: (rk.UBSAN,),
+    UBType.INTEGER_OVERFLOW: (rk.UBSAN,),
+    UBType.SHIFT_OVERFLOW: (rk.UBSAN,),
+    UBType.DIVIDE_BY_ZERO: (rk.UBSAN,),
+    UBType.USE_OF_UNINIT_MEMORY: (rk.MSAN,),
+}
+
+#: Report kinds that count as a *detection* of each UB type.
+EXPECTED_REPORT_KINDS: Dict[UBType, Tuple[str, ...]] = {
+    UBType.BUFFER_OVERFLOW_ARRAY: (rk.STACK_BUFFER_OVERFLOW,
+                                   rk.GLOBAL_BUFFER_OVERFLOW,
+                                   rk.HEAP_BUFFER_OVERFLOW,
+                                   rk.ARRAY_INDEX_OUT_OF_BOUNDS),
+    UBType.BUFFER_OVERFLOW_POINTER: (rk.STACK_BUFFER_OVERFLOW,
+                                     rk.GLOBAL_BUFFER_OVERFLOW,
+                                     rk.HEAP_BUFFER_OVERFLOW),
+    UBType.USE_AFTER_FREE: (rk.HEAP_USE_AFTER_FREE,),
+    UBType.USE_AFTER_SCOPE: (rk.STACK_USE_AFTER_SCOPE,),
+    UBType.NULL_POINTER_DEREF: (rk.NULL_POINTER_DEREFERENCE,),
+    UBType.INTEGER_OVERFLOW: (rk.SIGNED_INTEGER_OVERFLOW,),
+    UBType.SHIFT_OVERFLOW: (rk.SHIFT_OUT_OF_BOUNDS,),
+    UBType.DIVIDE_BY_ZERO: (rk.DIVISION_BY_ZERO,),
+    UBType.USE_OF_UNINIT_MEMORY: (rk.USE_OF_UNINITIALIZED_VALUE,),
+}
+
+ALL_UB_TYPES: Tuple[UBType, ...] = tuple(UBType)
+
+
+def sanitizers_for(ub_type: UBType) -> Tuple[str, ...]:
+    """Sanitizers that can detect *ub_type* (Table 2)."""
+    return SANITIZERS_FOR_UB[ub_type]
+
+
+def ub_types_for_sanitizer(sanitizer: str) -> List[UBType]:
+    """The UB types a sanitizer is expected to detect (Table 2, transposed)."""
+    return [ub for ub, sans in SANITIZERS_FOR_UB.items() if sanitizer in sans]
+
+
+def detects(ub_type: UBType, report_kind: str) -> bool:
+    """Does a report of *report_kind* count as detecting *ub_type*?"""
+    return report_kind in EXPECTED_REPORT_KINDS[ub_type]
+
+
+def ub_type_of_report(report_kind: str) -> UBType | None:
+    """Best-effort inverse mapping from a report kind to a UB type.
+
+    Used when classifying programs produced by baseline generators (MUSIC,
+    Csmith-NoSafe), whose UB type is not known by construction — the paper
+    does the same by reading the sanitizer report (§4.3, footnote 4).
+    """
+    priority = [
+        (rk.HEAP_USE_AFTER_FREE, UBType.USE_AFTER_FREE),
+        (rk.STACK_USE_AFTER_SCOPE, UBType.USE_AFTER_SCOPE),
+        (rk.NULL_POINTER_DEREFERENCE, UBType.NULL_POINTER_DEREF),
+        (rk.SIGNED_INTEGER_OVERFLOW, UBType.INTEGER_OVERFLOW),
+        (rk.SHIFT_OUT_OF_BOUNDS, UBType.SHIFT_OVERFLOW),
+        (rk.DIVISION_BY_ZERO, UBType.DIVIDE_BY_ZERO),
+        (rk.USE_OF_UNINITIALIZED_VALUE, UBType.USE_OF_UNINIT_MEMORY),
+        (rk.ARRAY_INDEX_OUT_OF_BOUNDS, UBType.BUFFER_OVERFLOW_ARRAY),
+        (rk.STACK_BUFFER_OVERFLOW, UBType.BUFFER_OVERFLOW_POINTER),
+        (rk.GLOBAL_BUFFER_OVERFLOW, UBType.BUFFER_OVERFLOW_POINTER),
+        (rk.HEAP_BUFFER_OVERFLOW, UBType.BUFFER_OVERFLOW_POINTER),
+    ]
+    for kind, ub in priority:
+        if report_kind == kind:
+            return ub
+    return None

@@ -1,0 +1,46 @@
+"""Coverage report objects (the rows of the paper's Table 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.coverage.tracker import CoverageTracker
+
+
+@dataclass
+class CoverageReport:
+    """Line / function / branch coverage achieved by one corpus."""
+
+    corpus: str
+    compiler: str
+    line_coverage: float
+    function_coverage: float
+    branch_coverage: float
+
+    def as_row(self) -> List[str]:
+        return [self.corpus, self.compiler,
+                f"{100 * self.line_coverage:.1f}%",
+                f"{100 * self.function_coverage:.1f}%",
+                f"{100 * self.branch_coverage:.1f}%"]
+
+
+def report_from_tracker(tracker: CoverageTracker, corpus: str,
+                        compiler: str) -> CoverageReport:
+    return CoverageReport(corpus=corpus, compiler=compiler,
+                          line_coverage=tracker.line_coverage(),
+                          function_coverage=tracker.function_coverage(),
+                          branch_coverage=tracker.branch_coverage())
+
+
+def merge_reports(reports: Dict[str, CoverageReport]) -> List[List[str]]:
+    """Order reports into printable rows (seeds first, UBfuzz last)."""
+    order = ["seeds", "music", "csmith-nosafe", "ubfuzz"]
+    rows: List[List[str]] = []
+    for name in order:
+        if name in reports:
+            rows.append(reports[name].as_row())
+    for name, report in reports.items():
+        if name not in order:
+            rows.append(report.as_row())
+    return rows

@@ -1,0 +1,177 @@
+"""Dead store elimination.
+
+Two flavours, both conservative:
+
+* stores to *local scalar* variables that are never read anywhere in the
+  function and whose address is never taken — the store is dropped, keeping
+  the right-hand side only if it has side effects;
+* stores into *local arrays* that are never read and never escape — the
+  whole statement is dropped.  This is the transformation that deletes the
+  ``d[1] = 1`` overflow in the paper's Figure 3.
+
+Eliminating such a store is only observable in a program whose execution has
+UB (e.g. the store was an out-of-bounds write that would have clobbered a
+neighbour), so the pass is safe for valid seeds and "dangerous" for UB
+programs — exactly the behaviour crash-site mapping must recognise.
+"""
+
+from __future__ import annotations
+
+from repro.cdsl import ast_nodes as ast
+from repro.cdsl import ctypes_ as ct
+from repro.cdsl.sema import SemanticInfo
+from repro.cdsl.visitor import NodeTransformer, walk
+from repro.optim.passes import (
+    OptimizationContext,
+    OptimizationPass,
+    declared_volatile,
+    is_pure_expr,
+    symbols_with_address_taken,
+)
+
+
+class DeadStoreEliminationPass(OptimizationPass):
+    name = "dse"
+
+    def run(self, unit: ast.TranslationUnit, sema: SemanticInfo,
+            ctx: OptimizationContext) -> bool:
+        changed = False
+        for fn in unit.functions:
+            if fn.body is None:
+                continue
+            # Iterate to a fixpoint within the function: removing the last
+            # use of a variable (e.g. a dead pointer initialized from an
+            # array) can make further variables dead in turn.
+            for _ in range(5):
+                dead = _dead_symbols(fn)
+                if not dead:
+                    break
+                eliminator = _StoreEliminator(ctx, dead)
+                eliminator.visit(fn.body)
+                if not eliminator.changed:
+                    break
+                changed = True
+        return changed
+
+
+def _dead_symbols(fn: ast.FunctionDecl) -> set:
+    """Local variables that are written but never read (and never escape)."""
+    escaping = symbols_with_address_taken(fn.body)
+    reads: set = set()
+    declared: dict = {}
+
+    def note_reads(node: ast.Node) -> None:
+        """Collect symbols read by *node*, skipping pure store-target bases."""
+        if isinstance(node, ast.Assignment):
+            note_reads(node.value)
+            if node.op != "=":
+                # Compound assignment also reads the target.
+                _collect_identifiers(node.target, reads)
+            else:
+                _note_target_index_reads(node.target, reads)
+            return
+        if isinstance(node, ast.IncDec):
+            # x++ both reads and writes x; treat as a read to stay sound.
+            _collect_identifiers(node.operand, reads)
+            return
+        if isinstance(node, ast.Identifier):
+            if node.symbol is not None:
+                reads.add(node.symbol.uid)
+            return
+        for child in node.children():
+            note_reads(child)
+
+    for node in walk(fn.body):
+        if isinstance(node, ast.VarDecl) and node.symbol is not None:
+            declared[node.symbol.uid] = node.symbol
+
+    note_reads(fn.body)
+
+    dead = set()
+    for uid, symbol in declared.items():
+        if uid in reads or uid in escaping or declared_volatile(symbol):
+            continue
+        if symbol.storage != "local":
+            continue
+        if isinstance(symbol.ctype, (ct.ArrayType, ct.IntType, ct.PointerType)):
+            dead.add(uid)
+    return dead
+
+
+def _collect_identifiers(expr: ast.Node, into: set) -> None:
+    for node in walk(expr):
+        if isinstance(node, ast.Identifier) and node.symbol is not None:
+            into.add(node.symbol.uid)
+
+
+def _note_target_index_reads(target: ast.Expr, into: set) -> None:
+    """For a store target like ``a[i].f``, the index/pointer expressions are
+    reads but the stored-to base variable itself is not."""
+    if isinstance(target, ast.ArraySubscript):
+        _collect_identifiers(target.index, into)
+        _note_target_index_reads(target.base, into)
+    elif isinstance(target, ast.MemberAccess):
+        if target.arrow:
+            # p->f reads the pointer p.
+            _collect_identifiers(target.base, into)
+        else:
+            _note_target_index_reads(target.base, into)
+    elif isinstance(target, ast.Deref):
+        _collect_identifiers(target.pointer, into)
+    # A plain Identifier target is a pure write: no reads recorded.
+
+
+class _StoreEliminator(NodeTransformer):
+    def __init__(self, ctx: OptimizationContext, dead: set) -> None:
+        self.ctx = ctx
+        self.dead = dead
+        self.changed = False
+
+    def visit_ExprStmt(self, node: ast.ExprStmt):
+        self.generic_visit(node)
+        expr = node.expr
+        if isinstance(expr, ast.Assignment) and self._targets_dead(expr.target):
+            self.changed = True
+            self.ctx.cover_branch("dse.removed_store", True)
+            if is_pure_expr(expr.value):
+                return None
+            # Keep the side effects of the right-hand side.
+            return ast.ExprStmt(expr.value, loc=node.loc)
+        self.ctx.cover_branch("dse.removed_store", False)
+        return node
+
+    def visit_DeclStmt(self, node: ast.DeclStmt):
+        self.generic_visit(node)
+        kept: list = []
+        side_effects: list = []
+        for decl in node.decls:
+            symbol = decl.symbol
+            is_dead = (symbol is not None and symbol.uid in self.dead)
+            if not is_dead:
+                kept.append(decl)
+                continue
+            self.changed = True
+            self.ctx.cover_branch("dse.removed_decl", True)
+            if decl.init is not None and isinstance(decl.init, ast.Expr) \
+                    and not is_pure_expr(decl.init):
+                side_effects.append(ast.ExprStmt(decl.init, loc=decl.loc))
+        if len(kept) == len(node.decls):
+            return node
+        out: list = side_effects
+        if kept:
+            node.decls = kept
+            out.append(node)
+        if not out:
+            return None
+        if len(out) == 1:
+            return out[0]
+        return out
+
+    def _targets_dead(self, target: ast.Expr) -> bool:
+        base = target
+        while isinstance(base, (ast.ArraySubscript, ast.MemberAccess)):
+            if isinstance(base, ast.ArraySubscript) and not is_pure_expr(base.index):
+                return False
+            base = base.base
+        return (isinstance(base, ast.Identifier) and base.symbol is not None
+                and base.symbol.uid in self.dead)

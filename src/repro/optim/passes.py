@@ -1,0 +1,157 @@
+"""The optimization pass framework.
+
+Simulated compilers run a pipeline of AST-level optimization passes *before*
+the sanitizer instrumentation pass, mirroring the real pipeline of Figure 2
+in the paper.  Because optimizers assume programs are UB-free, these passes
+may legally delete or simplify away the very expression that triggers UB in
+a mutated program — which is the paper's Challenge 2 and the reason the
+crash-site mapping oracle exists.
+
+Every pass must be semantics-preserving for *valid* programs; what it does
+to a program whose execution has UB is unconstrained (and that freedom is
+exactly what we are modelling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cdsl import ast_nodes as ast
+from repro.cdsl.sema import SemanticInfo
+
+
+@dataclass
+class OptimizationContext:
+    """Configuration shared by all passes of one compilation."""
+
+    compiler: str = "gcc"
+    version: int = 14
+    opt_level: str = "-O0"
+    coverage: object = None
+
+    def cover_branch(self, site: str, taken: bool) -> None:
+        if self.coverage is not None:
+            self.coverage.hit_branch(f"optim.{site}", taken)
+
+    def cover_point(self, site: str) -> None:
+        if self.coverage is not None:
+            self.coverage.hit_point(f"optim.{site}")
+
+
+class OptimizationPass:
+    """Base class for AST-level optimization passes."""
+
+    name = "pass"
+
+    def run(self, unit: ast.TranslationUnit, sema: SemanticInfo,
+            ctx: OptimizationContext) -> bool:
+        """Transform *unit* in place; return True if anything changed."""
+        raise NotImplementedError
+
+
+class PassPipeline:
+    """An ordered list of passes, optionally iterated to a fixed point."""
+
+    def __init__(self, passes: List[OptimizationPass], max_iterations: int = 2) -> None:
+        self.passes = list(passes)
+        self.max_iterations = max_iterations
+
+    @property
+    def pass_names(self) -> List[str]:
+        return [p.name for p in self.passes]
+
+    def run(self, unit: ast.TranslationUnit, sema: SemanticInfo,
+            ctx: OptimizationContext) -> List[str]:
+        """Run the pipeline; returns the names of passes that changed the AST."""
+        changed_passes: List[str] = []
+        for _ in range(self.max_iterations):
+            changed_this_round = False
+            for opt_pass in self.passes:
+                if opt_pass.run(unit, sema, ctx):
+                    changed_this_round = True
+                    changed_passes.append(opt_pass.name)
+                    ctx.cover_point(f"{opt_pass.name}.changed")
+            if not changed_this_round:
+                break
+        return changed_passes
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers used by several passes
+# ---------------------------------------------------------------------------
+
+def is_pure_expr(expr: Optional[ast.Expr]) -> bool:
+    """True if evaluating *expr* has no side effects (no stores or calls).
+
+    Memory reads are considered pure: a UB-free program's reads cannot trap,
+    so the optimizer may drop them — the key behaviour behind Figure 3.
+    """
+    if expr is None:
+        return True
+    if isinstance(expr, (ast.Assignment, ast.IncDec, ast.Call)):
+        return False
+    for child in expr.children():
+        if isinstance(child, ast.Expr) and not is_pure_expr(child):
+            return False
+        if isinstance(child, ast.Node) and not isinstance(child, ast.Expr):
+            # Initializer lists etc. — treat conservatively.
+            if not all(is_pure_expr(c) for c in child.children()
+                       if isinstance(c, ast.Expr)):
+                return False
+    return True
+
+
+def expr_constant(expr: Optional[ast.Expr]) -> Optional[int]:
+    """Return the literal value of *expr* if it is an integer constant."""
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-" \
+            and isinstance(expr.operand, ast.IntLiteral):
+        return -expr.operand.value
+    if isinstance(expr, ast.Cast):
+        return expr_constant(expr.operand)
+    return None
+
+
+def symbols_with_address_taken(root: ast.Node) -> set:
+    """UIDs of symbols whose address is taken anywhere under *root*."""
+    from repro.cdsl.visitor import walk
+    taken = set()
+    for node in walk(root):
+        if isinstance(node, ast.AddressOf):
+            target = node.operand
+            # &x, &a[i], &s.f — the underlying variable escapes.
+            base = target
+            while isinstance(base, (ast.ArraySubscript, ast.MemberAccess)):
+                base = base.base
+            if isinstance(base, ast.Identifier) and base.symbol is not None:
+                taken.add(base.symbol.uid)
+    return taken
+
+
+def symbols_read(root: ast.Node) -> set:
+    """UIDs of symbols that appear in a value (non-store-target) position."""
+    from repro.cdsl.visitor import walk
+    reads = set()
+    for node in walk(root):
+        if isinstance(node, ast.Assignment) and isinstance(node.target, ast.Identifier):
+            # The *simple* store target itself is not a read (unless compound).
+            if node.op != "=" and node.target.symbol is not None:
+                reads.add(node.target.symbol.uid)
+            for child in walk(node.value):
+                if isinstance(child, ast.Identifier) and child.symbol is not None:
+                    reads.add(child.symbol.uid)
+            # Continue walking handles nested nodes again; duplicates are fine.
+        elif isinstance(node, ast.Identifier) and node.symbol is not None:
+            reads.add(node.symbol.uid)
+    # Remove pure store-target occurrences counted by the generic walk:
+    # this over-approximation keeps the analysis sound (more reads = fewer
+    # eliminations), which is what an optimizer must guarantee.
+    return reads
+
+
+def declared_volatile(symbol) -> bool:
+    decl = getattr(symbol, "decl", None)
+    qualifiers = getattr(decl, "qualifiers", ()) if decl is not None else ()
+    return "volatile" in qualifiers

@@ -1,0 +1,80 @@
+"""Per-compiler, per-level optimization pipelines.
+
+The two simulated compilers run the same pass *implementations* but differ —
+like real GCC and LLVM — in which passes run at which level, their order and
+how many times the pipeline is iterated.  These differences are what make
+cross-compiler differential testing meaningful: the same UB program may keep
+its UB under one compiler's pipeline and lose it under the other's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.optim.constant_fold import ConstantFoldPass
+from repro.optim.constprop import ConstantPropagationPass
+from repro.optim.dce import DeadCodeEliminationPass
+from repro.optim.dse import DeadStoreEliminationPass
+from repro.optim.loop_opts import LoopOptimizationPass
+from repro.optim.passes import OptimizationPass, PassPipeline
+from repro.optim.simplify import AlgebraicSimplifyPass
+
+OPT_LEVELS = ("-O0", "-O1", "-Os", "-O2", "-O3")
+
+
+def _gcc_passes(opt_level: str) -> List[OptimizationPass]:
+    if opt_level == "-O0":
+        # GCC still folds constants at -O0 (the paper notes that even -O0
+        # performs basic optimizations such as constant folding).
+        return [ConstantFoldPass()]
+    if opt_level == "-O1":
+        return [ConstantFoldPass(), DeadCodeEliminationPass()]
+    if opt_level == "-Os":
+        return [ConstantFoldPass(), AlgebraicSimplifyPass(),
+                DeadCodeEliminationPass(), DeadStoreEliminationPass()]
+    if opt_level == "-O2":
+        return [ConstantPropagationPass(), ConstantFoldPass(),
+                AlgebraicSimplifyPass(), DeadStoreEliminationPass(),
+                DeadCodeEliminationPass()]
+    # -O3
+    return [ConstantPropagationPass(), ConstantFoldPass(),
+            AlgebraicSimplifyPass(), LoopOptimizationPass(),
+            DeadStoreEliminationPass(), DeadCodeEliminationPass()]
+
+
+def _llvm_passes(opt_level: str) -> List[OptimizationPass]:
+    if opt_level == "-O0":
+        return []
+    if opt_level == "-O1":
+        return [ConstantFoldPass(), AlgebraicSimplifyPass(),
+                DeadCodeEliminationPass()]
+    if opt_level == "-Os":
+        return [ConstantFoldPass(), AlgebraicSimplifyPass(),
+                DeadStoreEliminationPass(), DeadCodeEliminationPass()]
+    if opt_level == "-O2":
+        return [AlgebraicSimplifyPass(), ConstantPropagationPass(),
+                ConstantFoldPass(), DeadStoreEliminationPass(),
+                LoopOptimizationPass(), DeadCodeEliminationPass()]
+    # -O3
+    return [AlgebraicSimplifyPass(), ConstantPropagationPass(),
+            ConstantFoldPass(), DeadStoreEliminationPass(),
+            LoopOptimizationPass(), DeadCodeEliminationPass()]
+
+
+_BUILDERS = {"gcc": _gcc_passes, "llvm": _llvm_passes}
+
+_ITERATIONS: Dict[str, Dict[str, int]] = {
+    "gcc": {"-O0": 1, "-O1": 1, "-Os": 2, "-O2": 2, "-O3": 3},
+    "llvm": {"-O0": 1, "-O1": 1, "-Os": 2, "-O2": 3, "-O3": 3},
+}
+
+
+def pipeline_for(compiler: str, opt_level: str) -> PassPipeline:
+    """Build the pass pipeline for a compiler at an optimization level."""
+    if compiler not in _BUILDERS:
+        raise KeyError(f"unknown compiler {compiler!r}")
+    if opt_level not in OPT_LEVELS:
+        raise KeyError(f"unknown optimization level {opt_level!r}")
+    passes = _BUILDERS[compiler](opt_level)
+    iterations = _ITERATIONS[compiler].get(opt_level, 1)
+    return PassPipeline(passes, max_iterations=iterations)

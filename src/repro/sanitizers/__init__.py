@@ -1,0 +1,50 @@
+"""Sanitizer implementations: ASan, UBSan, MSan passes, runtimes and defects."""
+
+from repro.sanitizers import report
+from repro.sanitizers.asan import AsanPass, AsanRuntime
+from repro.sanitizers.base import (
+    ASAN_REDZONE,
+    InstrumentationContext,
+    SanitizerPass,
+    make_check,
+    make_report,
+)
+from repro.sanitizers.defects import (
+    CATEGORIES,
+    Defect,
+    default_defects,
+    defect_by_id,
+    defects_for,
+)
+from repro.sanitizers.msan import MsanPass, MsanRuntime
+from repro.sanitizers.registry import (
+    available_sanitizers,
+    build_pass,
+    report_kinds_of,
+    sanitizers_supported_by,
+)
+from repro.sanitizers.ubsan import UbsanPass, UbsanRuntime
+
+__all__ = [
+    "report",
+    "AsanPass",
+    "AsanRuntime",
+    "ASAN_REDZONE",
+    "InstrumentationContext",
+    "SanitizerPass",
+    "make_check",
+    "make_report",
+    "CATEGORIES",
+    "Defect",
+    "default_defects",
+    "defect_by_id",
+    "defects_for",
+    "MsanPass",
+    "MsanRuntime",
+    "available_sanitizers",
+    "build_pass",
+    "report_kinds_of",
+    "sanitizers_supported_by",
+    "UbsanPass",
+    "UbsanRuntime",
+]

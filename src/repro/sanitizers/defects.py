@@ -1,0 +1,466 @@
+"""Injected sanitizer defect models.
+
+The paper finds 31 real false-negative (and wrong-report) bugs in GCC's and
+LLVM's sanitizer implementations and categorises them by root cause
+(Table 6).  Our simulated compilers cannot contain the *actual* GCC/LLVM
+bugs, so we seed their sanitizer passes and runtimes with *defect models*:
+small, precisely-scoped deviations from correct instrumentation that mirror
+the paper's root-cause categories:
+
+* ``NO_CHECK`` — the pass forgets to instrument certain accesses
+  (paper: "No Sanitizer Check", Fig. 12a);
+* ``INCORRECT_OPT`` — a sanitizer-internal optimisation removes valid checks
+  or skips scope poisoning (Fig. 12c);
+* ``WRONG_REDZONE`` — red zones are mis-sized for certain globals (Fig. 12d);
+* ``INCORRECT_CHECK`` — a check is placed so that it cannot fire (Fig. 12e);
+* ``FOLDING`` — operand widening/shortening confuses the check inserter
+  (Fig. 12b);
+* ``OPERATION_HANDLING`` — shadow propagation mishandles an operation
+  (Fig. 12f);
+* ``WRONG_LINE`` — the check fires but reports a wrong source location,
+  producing the paper's two "wrong report" (non-FN) bugs.
+
+Every defect is attached to a compiler, a sanitizer, a range of affected
+versions and a set of optimization levels, which is what lets the
+reproduction regenerate Figure 10 (affected stable versions) and Figure 11
+(affected optimization levels).
+
+The *fuzzing campaign does not know this registry*: it only observes binary
+behaviour, exactly like the paper's tool observes GCC and LLVM.  The
+registry doubles as ground truth when we evaluate precision/recall of the
+crash-site mapping oracle (RQ3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cdsl import ast_nodes as ast
+from repro.cdsl import ctypes_ as ct
+
+# Root-cause categories (Table 6).
+NO_CHECK = "No Sanitizer Check"
+INCORRECT_OPT = "Incorrect Sanitizer Optimization"
+WRONG_REDZONE = "Wrong Red-Zone Buffer"
+INCORRECT_CHECK = "Incorrect Sanitizer Check"
+FOLDING = "Incorrect Expression Folding/Shorten"
+OPERATION_HANDLING = "Incorrect Operation Handling"
+WRONG_LINE = "Wrong Line Information"
+
+CATEGORIES = (NO_CHECK, INCORRECT_OPT, WRONG_REDZONE, INCORRECT_CHECK,
+              FOLDING, OPERATION_HANDLING, WRONG_LINE)
+
+
+@dataclass(frozen=True)
+class Defect:
+    """One seeded sanitizer bug.
+
+    ``check_predicate`` decides, at instrumentation time, whether this defect
+    suppresses the check that would guard *expr*; ``runtime_overrides`` are
+    configuration tweaks applied to the sanitizer runtime (red-zone sizes,
+    scope poisoning, shadow propagation); ``line_skew`` shifts the reported
+    source line, modelling wrong-report (non-FN) bugs.
+    """
+
+    defect_id: str
+    compiler: str                 # "gcc" or "llvm"
+    sanitizer: str                # "asan", "ubsan", "msan"
+    category: str
+    ub_kinds: tuple               # report kinds this defect can hide
+    opt_levels: tuple             # e.g. ("-O2", "-O3"); empty = all levels
+    introduced_version: int
+    fixed_version: Optional[int] = None
+    check_kinds: tuple = ()       # which check kinds the predicate applies to
+    check_predicate: Optional[Callable[[ast.Expr, dict], bool]] = None
+    runtime_overrides: Dict[str, object] = field(default_factory=dict)
+    line_skew: int = 0
+    is_false_negative: bool = True
+
+    def active_for(self, compiler: str, version: int, sanitizer: str,
+                   opt_level: str) -> bool:
+        if compiler != self.compiler or sanitizer != self.sanitizer:
+            return False
+        if version < self.introduced_version:
+            return False
+        if self.fixed_version is not None and version >= self.fixed_version:
+            return False
+        if self.opt_levels and opt_level not in self.opt_levels:
+            return False
+        return True
+
+    def suppresses(self, check_kind: str, expr: ast.Expr, detail: dict) -> bool:
+        if self.check_predicate is None:
+            return False
+        if self.check_kinds and check_kind not in self.check_kinds:
+            return False
+        try:
+            return bool(self.check_predicate(expr, detail))
+        except Exception:
+            return False
+
+
+# ---------------------------------------------------------------------------
+# Predicate templates
+# ---------------------------------------------------------------------------
+
+def _is_write_through_global_pointer(expr: ast.Expr, detail: dict) -> bool:
+    """A store through a pointer-typed *global* variable (cf. Fig. 12a)."""
+    if not detail.get("is_write"):
+        return False
+    if not isinstance(expr, ast.Deref):
+        return False
+    pointer = expr.pointer
+    return (isinstance(pointer, ast.Identifier) and pointer.symbol is not None
+            and pointer.symbol.is_global
+            and isinstance(ct.decay(pointer.symbol.ctype), ct.PointerType))
+
+
+def _is_pointer_offset_access(expr: ast.Expr, detail: dict) -> bool:
+    """An access of the form ``*(p + k)`` with a variable offset."""
+    if not isinstance(expr, ast.Deref):
+        return False
+    pointer = expr.pointer
+    return (isinstance(pointer, ast.BinaryOp) and pointer.op in ("+", "-")
+            and not isinstance(pointer.rhs, ast.IntLiteral))
+
+
+def _is_member_arrow_access(expr: ast.Expr, detail: dict) -> bool:
+    """A ``p->field`` access with a non-zero field offset."""
+    return isinstance(expr, ast.MemberAccess) and expr.arrow and detail.get("offset", 0) > 0
+
+
+def _is_pointer_subscript_variable_index(expr: ast.Expr, detail: dict) -> bool:
+    """``p[i]`` where ``p`` is a pointer variable and ``i`` is not constant.
+
+    This is the access form ASan's (defective) redundant-check elimination
+    drops at high optimization levels; heap accesses in generated seeds take
+    exactly this shape, while Juliet-style suites index with constants.
+    """
+    if not isinstance(expr, ast.ArraySubscript):
+        return False
+    base = expr.base
+    if not (isinstance(base, ast.Identifier) and base.symbol is not None
+            and isinstance(ct.decay(base.symbol.ctype), ct.PointerType)
+            and not isinstance(base.symbol.ctype, ct.ArrayType)):
+        return False
+    return not isinstance(expr.index, ast.IntLiteral)
+
+
+def _is_subscript_with_param_index(expr: ast.Expr, detail: dict) -> bool:
+    """``a[i]`` where the index is a function parameter (cf. Fig. 12d)."""
+    if not isinstance(expr, ast.ArraySubscript):
+        return False
+    index = expr.index
+    return (isinstance(index, ast.Identifier) and index.symbol is not None
+            and index.symbol.storage == "param")
+
+
+def _is_subscript_of_global_array(expr: ast.Expr, detail: dict) -> bool:
+    """``g[i]`` where ``g`` is a global array and the index is not constant."""
+    if not isinstance(expr, ast.ArraySubscript):
+        return False
+    base = expr.base
+    return (isinstance(base, ast.Identifier) and base.symbol is not None
+            and base.symbol.is_global
+            and isinstance(base.symbol.ctype, ct.ArrayType)
+            and not isinstance(expr.index, ast.IntLiteral))
+
+
+def _has_narrowing_cast_of_bool(expr: ast.Expr, detail: dict) -> bool:
+    """The guarded expression contains a comparison widened through a cast
+    to a narrower integer type (cf. Fig. 12b)."""
+    from repro.cdsl.visitor import walk
+    for node in walk(expr):
+        if isinstance(node, ast.Cast) and isinstance(node.target_type, ct.IntType) \
+                and node.target_type.bits < 32:
+            for inner in walk(node.operand):
+                if isinstance(inner, ast.BinaryOp) and (
+                        inner.op in ast.BinaryOp.RELATIONAL_OPS
+                        or inner.op in ("|", "&")):
+                    return True
+    return False
+
+
+def _is_incdec_null_deref(expr: ast.Expr, detail: dict) -> bool:
+    """The null check guards a dereference used inside ``++``/``--``
+    (cf. Fig. 12e: ``++(*a)`` misleads UBSan)."""
+    return bool(detail.get("in_incdec"))
+
+
+def _shift_amount_is_narrow(expr: ast.Expr, detail: dict) -> bool:
+    """A shift whose amount has a narrow (char/short) type."""
+    if not isinstance(expr, ast.BinaryOp) or expr.op not in ("<<", ">>"):
+        return False
+    rhs_type = expr.rhs.ctype
+    return isinstance(rhs_type, ct.IntType) and rhs_type.bits < 32
+
+
+def _mul_with_negative_constant(expr: ast.Expr, detail: dict) -> bool:
+    """A multiplication with a negative constant operand."""
+    if not isinstance(expr, ast.BinaryOp) or expr.op != "*":
+        return False
+    for side in (expr.lhs, expr.rhs):
+        if isinstance(side, ast.UnaryOp) and side.op == "-" \
+                and isinstance(side.operand, ast.IntLiteral):
+            return True
+        if isinstance(side, ast.IntLiteral) and side.value < 0:
+            return True
+    return False
+
+
+def _arith_on_compound_assignment(expr: ast.Expr, detail: dict) -> bool:
+    """Arithmetic that appears as part of a compound assignment."""
+    return bool(detail.get("in_compound_assign"))
+
+
+def _uninit_use_minus_constant(expr: ast.Expr, detail: dict) -> bool:
+    """A branch condition of the form ``x - C`` (cf. Fig. 12f)."""
+    if isinstance(expr, ast.BinaryOp) and expr.op == "-" \
+            and isinstance(expr.rhs, ast.IntLiteral):
+        return True
+    return False
+
+
+def _div_by_variable(expr: ast.Expr, detail: dict) -> bool:
+    """A division whose divisor is a plain variable (not a constant)."""
+    if not isinstance(expr, ast.BinaryOp) or expr.op not in ("/", "%"):
+        return False
+    return isinstance(expr.rhs, ast.Identifier)
+
+
+def _subscript_constant_index(expr: ast.Expr, detail: dict) -> bool:
+    """``g[C]`` on a *global* array with a constant (possibly out-of-range)
+    index.  Restricting the pattern to globals keeps it out of reach of the
+    simple local-array programs of Juliet-style suites, mirroring the paper's
+    finding that the existing test suites expose no sanitizer FN bug."""
+    if not (isinstance(expr, ast.ArraySubscript)
+            and isinstance(expr.index, ast.IntLiteral)):
+        return False
+    base = expr.base
+    return (isinstance(base, ast.Identifier) and base.symbol is not None
+            and base.symbol.is_global)
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+_O_HIGH = ("-O1", "-Os", "-O2", "-O3")
+_O_TOP = ("-O2", "-O3")
+
+def _default_registry() -> List[Defect]:
+    from repro.sanitizers import report as rk
+
+    defects: List[Defect] = []
+
+    # ---- GCC ASan -----------------------------------------------------------
+    defects.append(Defect(
+        "gcc-asan-global-ptr-store", "gcc", "asan", NO_CHECK,
+        (rk.STACK_BUFFER_OVERFLOW, rk.GLOBAL_BUFFER_OVERFLOW),
+        _O_TOP, introduced_version=6, fixed_version=14,
+        check_kinds=("asan_access",),
+        check_predicate=_is_write_through_global_pointer))
+    defects.append(Defect(
+        "gcc-asan-pointer-offset-load", "gcc", "asan", INCORRECT_OPT,
+        (rk.STACK_BUFFER_OVERFLOW, rk.GLOBAL_BUFFER_OVERFLOW,
+         rk.HEAP_BUFFER_OVERFLOW),
+        ("-O2", "-O3"), introduced_version=8,
+        check_kinds=("asan_access",),
+        check_predicate=_is_pointer_offset_access))
+    defects.append(Defect(
+        "gcc-asan-scope-loop", "gcc", "asan", INCORRECT_OPT,
+        (rk.STACK_USE_AFTER_SCOPE,),
+        ("-O3",), introduced_version=7,
+        runtime_overrides={"skip_scope_poisoning": True}))
+    defects.append(Defect(
+        "gcc-asan-struct-global-redzone", "gcc", "asan", WRONG_REDZONE,
+        (rk.GLOBAL_BUFFER_OVERFLOW,),
+        (), introduced_version=5,
+        # Global arrays whose element is a struct with at least two fields
+        # get no red zone at all; single-field struct arrays (like the
+        # paper's Figure 1) are still protected, so the bug is only visible
+        # on richer seeds and is caught cross-compiler by LLVM ASan.
+        runtime_overrides={"struct_array_redzone_min_fields": 2}))
+    defects.append(Defect(
+        "gcc-asan-member-offset", "gcc", "asan", INCORRECT_CHECK,
+        (rk.STACK_BUFFER_OVERFLOW, rk.GLOBAL_BUFFER_OVERFLOW),
+        ("-Os",), introduced_version=9,
+        check_kinds=("asan_access",),
+        check_predicate=_is_member_arrow_access))
+    defects.append(Defect(
+        "gcc-asan-uaf-opt", "gcc", "asan", INCORRECT_OPT,
+        (rk.HEAP_USE_AFTER_FREE, rk.HEAP_BUFFER_OVERFLOW),
+        ("-O2", "-O3"), introduced_version=10,
+        check_kinds=("asan_access",),
+        check_predicate=_is_pointer_subscript_variable_index))
+    defects.append(Defect(
+        "gcc-asan-line-info", "gcc", "asan", WRONG_LINE,
+        (rk.STACK_BUFFER_OVERFLOW,),
+        ("-O1",), introduced_version=11,
+        line_skew=1, is_false_negative=False))
+
+    # ---- GCC UBSan ----------------------------------------------------------
+    defects.append(Defect(
+        "gcc-ubsan-bool-widen-div", "gcc", "ubsan", FOLDING,
+        (rk.DIVISION_BY_ZERO,),
+        (), introduced_version=5,
+        check_kinds=("ubsan_div",),
+        check_predicate=_has_narrowing_cast_of_bool))
+    defects.append(Defect(
+        "gcc-ubsan-bool-widen-arith", "gcc", "ubsan", FOLDING,
+        (rk.SIGNED_INTEGER_OVERFLOW,),
+        (), introduced_version=5,
+        check_kinds=("ubsan_arith",),
+        check_predicate=_has_narrowing_cast_of_bool))
+    defects.append(Defect(
+        "gcc-ubsan-narrow-shift", "gcc", "ubsan", FOLDING,
+        (rk.SHIFT_OUT_OF_BOUNDS,),
+        _O_HIGH, introduced_version=7,
+        check_kinds=("ubsan_shift",),
+        check_predicate=_shift_amount_is_narrow))
+    defects.append(Defect(
+        "gcc-ubsan-neg-const-mul", "gcc", "ubsan", NO_CHECK,
+        (rk.SIGNED_INTEGER_OVERFLOW,),
+        _O_TOP, introduced_version=10,
+        check_kinds=("ubsan_arith",),
+        check_predicate=_mul_with_negative_constant))
+    defects.append(Defect(
+        "gcc-ubsan-compound-arith", "gcc", "ubsan", FOLDING,
+        (rk.SIGNED_INTEGER_OVERFLOW, rk.SHIFT_OUT_OF_BOUNDS),
+        ("-O2", "-O3", "-Os"), introduced_version=8,
+        check_kinds=("ubsan_arith", "ubsan_shift"),
+        check_predicate=_arith_on_compound_assignment))
+    defects.append(Defect(
+        "gcc-ubsan-bounds-param-index", "gcc", "ubsan", INCORRECT_CHECK,
+        (rk.ARRAY_INDEX_OUT_OF_BOUNDS,),
+        ("-O2", "-O3"), introduced_version=9,
+        check_kinds=("ubsan_bounds",),
+        check_predicate=_is_subscript_with_param_index))
+    defects.append(Defect(
+        "gcc-ubsan-line-info", "gcc", "ubsan", WRONG_LINE,
+        (rk.SIGNED_INTEGER_OVERFLOW,),
+        ("-O0",), introduced_version=12,
+        line_skew=1, is_false_negative=False))
+    defects.append(Defect(
+        "gcc-ubsan-div-opt", "gcc", "ubsan", INCORRECT_OPT,
+        (rk.DIVISION_BY_ZERO,),
+        ("-O3",), introduced_version=11,
+        check_kinds=("ubsan_div",),
+        check_predicate=_div_by_variable))
+
+    # ---- LLVM ASan ----------------------------------------------------------
+    defects.append(Defect(
+        "llvm-asan-global-array-padding", "llvm", "asan", WRONG_REDZONE,
+        (rk.GLOBAL_BUFFER_OVERFLOW,),
+        (), introduced_version=5,
+        runtime_overrides={"global_array_padding_slack": 8}))
+    defects.append(Defect(
+        "llvm-asan-param-index", "llvm", "asan", INCORRECT_CHECK,
+        (rk.GLOBAL_BUFFER_OVERFLOW, rk.STACK_BUFFER_OVERFLOW),
+        (), introduced_version=5,
+        check_kinds=("asan_access",),
+        check_predicate=_is_subscript_with_param_index))
+    defects.append(Defect(
+        "llvm-asan-global-subscript", "llvm", "asan", NO_CHECK,
+        (rk.GLOBAL_BUFFER_OVERFLOW,),
+        ("-O2", "-O3"), introduced_version=9,
+        check_kinds=("asan_access",),
+        check_predicate=_is_subscript_of_global_array))
+    defects.append(Defect(
+        "llvm-asan-scope-opt", "llvm", "asan", INCORRECT_OPT,
+        (rk.STACK_USE_AFTER_SCOPE,),
+        ("-O2", "-O3"), introduced_version=8,
+        runtime_overrides={"skip_scope_poisoning": True}))
+    defects.append(Defect(
+        "llvm-asan-member-offset", "llvm", "asan", INCORRECT_CHECK,
+        (rk.STACK_BUFFER_OVERFLOW, rk.GLOBAL_BUFFER_OVERFLOW),
+        ("-O1", "-Os"), introduced_version=10,
+        check_kinds=("asan_access",),
+        check_predicate=_is_member_arrow_access))
+    defects.append(Defect(
+        "llvm-asan-uaf-offset", "llvm", "asan", INCORRECT_OPT,
+        (rk.HEAP_USE_AFTER_FREE,),
+        ("-O3",), introduced_version=12,
+        check_kinds=("asan_access",),
+        check_predicate=_is_pointer_offset_access))
+
+    # ---- LLVM UBSan ---------------------------------------------------------
+    defects.append(Defect(
+        "llvm-ubsan-incdec-null", "llvm", "ubsan", INCORRECT_CHECK,
+        (rk.NULL_POINTER_DEREFERENCE,),
+        (), introduced_version=5,
+        check_kinds=("ubsan_null",),
+        check_predicate=_is_incdec_null_deref))
+    defects.append(Defect(
+        "llvm-ubsan-narrow-shift", "llvm", "ubsan", INCORRECT_CHECK,
+        (rk.SHIFT_OUT_OF_BOUNDS,),
+        ("-O2", "-O3"), introduced_version=9,
+        check_kinds=("ubsan_shift",),
+        check_predicate=_shift_amount_is_narrow))
+    defects.append(Defect(
+        "llvm-ubsan-compound-arith", "llvm", "ubsan", INCORRECT_CHECK,
+        (rk.SIGNED_INTEGER_OVERFLOW,),
+        _O_HIGH, introduced_version=7,
+        check_kinds=("ubsan_arith",),
+        check_predicate=_arith_on_compound_assignment))
+    defects.append(Defect(
+        "llvm-ubsan-neg-const-mul", "llvm", "ubsan", NO_CHECK,
+        (rk.SIGNED_INTEGER_OVERFLOW,),
+        ("-O3",), introduced_version=11,
+        check_kinds=("ubsan_arith",),
+        check_predicate=_mul_with_negative_constant))
+    defects.append(Defect(
+        "llvm-ubsan-bounds-const", "llvm", "ubsan", INCORRECT_CHECK,
+        (rk.ARRAY_INDEX_OUT_OF_BOUNDS,),
+        ("-O2", "-O3", "-Os"), introduced_version=10,
+        check_kinds=("ubsan_bounds",),
+        check_predicate=_subscript_constant_index))
+    defects.append(Defect(
+        "llvm-ubsan-bool-widen-div", "llvm", "ubsan", FOLDING,
+        (rk.DIVISION_BY_ZERO,),
+        ("-O2", "-O3"), introduced_version=8,
+        check_kinds=("ubsan_div",),
+        check_predicate=_has_narrowing_cast_of_bool))
+
+    # ---- LLVM MSan ----------------------------------------------------------
+    # MSan exists only in LLVM, so this defect must leave -O0 clean:
+    # otherwise no configuration could ever detect the UB and differential
+    # testing would have nothing to compare against.
+    defects.append(Defect(
+        "llvm-msan-sub-const", "llvm", "msan", OPERATION_HANDLING,
+        (rk.USE_OF_UNINITIALIZED_VALUE,),
+        ("-O1", "-Os", "-O2", "-O3"), introduced_version=6,
+        check_kinds=("msan_use",),
+        check_predicate=_uninit_use_minus_constant))
+
+    return defects
+
+
+_REGISTRY: Optional[List[Defect]] = None
+
+
+def default_defects() -> List[Defect]:
+    """The full seeded defect registry (built lazily, shared, read-only)."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _default_registry()
+    return list(_REGISTRY)
+
+
+def defects_for(compiler: str, version: int, sanitizer: str,
+                opt_level: str,
+                registry: Optional[Sequence[Defect]] = None) -> List[Defect]:
+    """Select the defects active for one compilation configuration."""
+    source = registry if registry is not None else default_defects()
+    return [d for d in source
+            if d.active_for(compiler, version, sanitizer, opt_level)]
+
+
+def defect_by_id(defect_id: str,
+                 registry: Optional[Sequence[Defect]] = None) -> Optional[Defect]:
+    source = registry if registry is not None else default_defects()
+    for defect in source:
+        if defect.defect_id == defect_id:
+            return defect
+    return None

@@ -1,0 +1,43 @@
+"""Registry of available sanitizers and their capabilities (paper Table 2)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sanitizers import report as rk
+from repro.sanitizers.asan import AsanPass
+from repro.sanitizers.base import SanitizerPass
+from repro.sanitizers.msan import MsanPass
+from repro.sanitizers.ubsan import UbsanPass
+
+_PASSES: Dict[str, type] = {
+    rk.ASAN: AsanPass,
+    rk.UBSAN: UbsanPass,
+    rk.MSAN: MsanPass,
+}
+
+
+def available_sanitizers() -> List[str]:
+    """All sanitizer names supported by the simulated compilers."""
+    return list(_PASSES)
+
+
+def build_pass(name: str) -> SanitizerPass:
+    """Instantiate the instrumentation pass for a sanitizer name."""
+    try:
+        return _PASSES[name]()
+    except KeyError as exc:
+        raise KeyError(f"unknown sanitizer {name!r}; "
+                       f"available: {sorted(_PASSES)}") from exc
+
+
+def sanitizers_supported_by(compiler: str) -> List[str]:
+    """Sanitizers a compiler supports.  GCC does not ship MSan (paper §4.1)."""
+    if compiler == "gcc":
+        return [rk.ASAN, rk.UBSAN]
+    return [rk.ASAN, rk.UBSAN, rk.MSAN]
+
+
+def report_kinds_of(name: str) -> tuple:
+    """The report kinds a sanitizer can emit."""
+    return rk.KINDS_BY_SANITIZER.get(name, ())

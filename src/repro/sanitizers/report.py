@@ -1,0 +1,68 @@
+"""Sanitizer report kinds and helpers.
+
+The :class:`~repro.vm.errors.SanitizerReport` class itself is defined in the
+VM (it is a runtime artifact); this module centralises the report *kinds*
+each sanitizer can emit and which undefined behaviours they correspond to.
+"""
+
+from __future__ import annotations
+
+from repro.vm.errors import SanitizerReport
+
+ASAN = "asan"
+UBSAN = "ubsan"
+MSAN = "msan"
+
+SANITIZER_NAMES = (ASAN, UBSAN, MSAN)
+
+# AddressSanitizer report kinds.
+STACK_BUFFER_OVERFLOW = "stack-buffer-overflow"
+GLOBAL_BUFFER_OVERFLOW = "global-buffer-overflow"
+HEAP_BUFFER_OVERFLOW = "heap-buffer-overflow"
+HEAP_USE_AFTER_FREE = "heap-use-after-free"
+STACK_USE_AFTER_SCOPE = "stack-use-after-scope"
+
+ASAN_KINDS = (
+    STACK_BUFFER_OVERFLOW,
+    GLOBAL_BUFFER_OVERFLOW,
+    HEAP_BUFFER_OVERFLOW,
+    HEAP_USE_AFTER_FREE,
+    STACK_USE_AFTER_SCOPE,
+)
+
+# UndefinedBehaviorSanitizer report kinds.
+SIGNED_INTEGER_OVERFLOW = "signed-integer-overflow"
+SHIFT_OUT_OF_BOUNDS = "shift-out-of-bounds"
+DIVISION_BY_ZERO = "division-by-zero"
+NULL_POINTER_DEREFERENCE = "null-pointer-dereference"
+ARRAY_INDEX_OUT_OF_BOUNDS = "array-index-out-of-bounds"
+
+UBSAN_KINDS = (
+    SIGNED_INTEGER_OVERFLOW,
+    SHIFT_OUT_OF_BOUNDS,
+    DIVISION_BY_ZERO,
+    NULL_POINTER_DEREFERENCE,
+    ARRAY_INDEX_OUT_OF_BOUNDS,
+)
+
+# MemorySanitizer report kinds.
+USE_OF_UNINITIALIZED_VALUE = "use-of-uninitialized-value"
+
+MSAN_KINDS = (USE_OF_UNINITIALIZED_VALUE,)
+
+KINDS_BY_SANITIZER = {
+    ASAN: ASAN_KINDS,
+    UBSAN: UBSAN_KINDS,
+    MSAN: MSAN_KINDS,
+}
+
+__all__ = [
+    "SanitizerReport",
+    "ASAN", "UBSAN", "MSAN", "SANITIZER_NAMES",
+    "STACK_BUFFER_OVERFLOW", "GLOBAL_BUFFER_OVERFLOW", "HEAP_BUFFER_OVERFLOW",
+    "HEAP_USE_AFTER_FREE", "STACK_USE_AFTER_SCOPE", "ASAN_KINDS",
+    "SIGNED_INTEGER_OVERFLOW", "SHIFT_OUT_OF_BOUNDS", "DIVISION_BY_ZERO",
+    "NULL_POINTER_DEREFERENCE", "ARRAY_INDEX_OUT_OF_BOUNDS", "UBSAN_KINDS",
+    "USE_OF_UNINITIALIZED_VALUE", "MSAN_KINDS",
+    "KINDS_BY_SANITIZER",
+]

@@ -1,0 +1,18 @@
+"""Seed program generators: Csmith-like, Csmith-NoSafe, MUSIC, Juliet."""
+
+from repro.seedgen.config import GeneratorConfig
+from repro.seedgen.csmith import CsmithGenerator, CsmithNoSafeGenerator, SeedProgram
+from repro.seedgen.juliet import JulietCase, generate_juliet_suite
+from repro.seedgen.music import MUTATION_OPERATORS, Mutant, MusicMutator
+
+__all__ = [
+    "GeneratorConfig",
+    "CsmithGenerator",
+    "CsmithNoSafeGenerator",
+    "SeedProgram",
+    "JulietCase",
+    "generate_juliet_suite",
+    "MUTATION_OPERATORS",
+    "Mutant",
+    "MusicMutator",
+]

@@ -1,0 +1,179 @@
+"""A Juliet-style test suite of fixed-template UB programs (paper §4.3).
+
+NIST's Juliet suite is a large collection of small, hand-written programs,
+each demonstrating one CWE with an explicit "bad" code path.  The paper runs
+the sanitizer-detectable subset of Juliet through its oracle and finds **no**
+sanitizer FN bugs: the programs are simple and their UB patterns are exactly
+what sanitizer test suites already cover.
+
+This module generates a corpus in the same spirit: each case instantiates a
+fixed template for one UB type with small parameter variations (buffer
+length, offset, constant values).  The programs are intentionally plain —
+direct accesses on locals, no global pointer indirection, no optimizer bait
+— which is why, like the real Juliet suite, they exercise no seeded defect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.ub_types import UBType
+
+
+@dataclass
+class JulietCase:
+    """One Juliet-style test case."""
+
+    name: str
+    ub_type: UBType
+    source: str
+    cwe: str
+
+
+def _stack_overflow_case(i: int, length: int) -> JulietCase:
+    source = f"""\
+int main() {{
+  int data[{length}];
+  int i_var = 0;
+  for (i_var = 0; i_var < {length}; i_var++) {{
+    data[i_var] = i_var;
+  }}
+  i_var = {length};
+  data[i_var] = {i};
+  return data[0];
+}}
+"""
+    return JulietCase(f"CWE121_stack_overflow_{i:02d}", UBType.BUFFER_OVERFLOW_ARRAY,
+                      source, "CWE-121")
+
+
+def _heap_overflow_case(i: int, length: int) -> JulietCase:
+    source = f"""\
+int main() {{
+  int *data = malloc({length * 4});
+  int j = 0;
+  for (j = 0; j < {length}; j++) {{
+    data[j] = j + {i};
+  }}
+  *(data + {length}) = 7;
+  free(data);
+  return 0;
+}}
+"""
+    return JulietCase(f"CWE122_heap_overflow_{i:02d}", UBType.BUFFER_OVERFLOW_POINTER,
+                      source, "CWE-122")
+
+
+def _use_after_free_case(i: int, length: int) -> JulietCase:
+    source = f"""\
+int main() {{
+  int *data = malloc({length * 4});
+  data[0] = {i};
+  free(data);
+  return data[0];
+}}
+"""
+    return JulietCase(f"CWE416_use_after_free_{i:02d}", UBType.USE_AFTER_FREE,
+                      source, "CWE-416")
+
+
+def _null_deref_case(i: int) -> JulietCase:
+    source = f"""\
+int main() {{
+  int *data = 0;
+  int ok = {i};
+  if (ok > 1000) {{
+    int stack_value = 7;
+    data = &stack_value;
+  }}
+  return *data;
+}}
+"""
+    return JulietCase(f"CWE476_null_deref_{i:02d}", UBType.NULL_POINTER_DEREF,
+                      source, "CWE-476")
+
+
+def _integer_overflow_case(i: int) -> JulietCase:
+    source = f"""\
+int main() {{
+  int data = 2147483647 - {i};
+  int result = data + {i + 1};
+  return result > 0;
+}}
+"""
+    return JulietCase(f"CWE190_integer_overflow_{i:02d}", UBType.INTEGER_OVERFLOW,
+                      source, "CWE-190")
+
+
+def _shift_overflow_case(i: int) -> JulietCase:
+    source = f"""\
+int main() {{
+  int data = {i + 1};
+  int amount = 32 + {i};
+  int result = data << amount;
+  return result != 0;
+}}
+"""
+    return JulietCase(f"CWE1335_shift_overflow_{i:02d}", UBType.SHIFT_OVERFLOW,
+                      source, "CWE-1335")
+
+
+def _divide_by_zero_case(i: int) -> JulietCase:
+    source = f"""\
+int main() {{
+  int data = 0;
+  int numerator = {100 + i};
+  int result = numerator / data;
+  return result;
+}}
+"""
+    return JulietCase(f"CWE369_divide_by_zero_{i:02d}", UBType.DIVIDE_BY_ZERO,
+                      source, "CWE-369")
+
+
+def _uninit_case(i: int) -> JulietCase:
+    source = f"""\
+int main() {{
+  int data;
+  int out = {i};
+  if (data) {{
+    out = out + 1;
+  }}
+  return out;
+}}
+"""
+    return JulietCase(f"CWE457_uninit_{i:02d}", UBType.USE_OF_UNINIT_MEMORY,
+                      source, "CWE-457")
+
+
+def _use_after_scope_case(i: int) -> JulietCase:
+    source = f"""\
+int g_sink = {i};
+int main() {{
+  int *p = &g_sink;
+  {{
+    int local_value = {i + 1};
+    p = &local_value;
+  }}
+  return *p;
+}}
+"""
+    return JulietCase(f"CWE562_use_after_scope_{i:02d}", UBType.USE_AFTER_SCOPE,
+                      source, "CWE-562")
+
+
+def generate_juliet_suite(cases_per_type: int = 4) -> List[JulietCase]:
+    """Build the Juliet-style corpus: ``cases_per_type`` variants per UB type."""
+    suite: List[JulietCase] = []
+    for i in range(cases_per_type):
+        suite.append(_stack_overflow_case(i, length=4 + i))
+        suite.append(_heap_overflow_case(i, length=3 + i))
+        suite.append(_use_after_free_case(i, length=2 + i))
+        suite.append(_null_deref_case(i))
+        suite.append(_integer_overflow_case(i))
+        suite.append(_shift_overflow_case(i))
+        suite.append(_divide_by_zero_case(i))
+        suite.append(_uninit_case(i))
+        suite.append(_use_after_scope_case(i))
+    return suite

@@ -1,0 +1,170 @@
+"""MUSIC-style mutation baseline (paper §4.3).
+
+MUSIC [28] is a mutation-testing tool: it applies classic syntactic mutation
+operators to a valid program's AST, producing syntactically valid mutants
+with no guarantee about semantics.  The paper uses it as a baseline UB
+"generator": because the operators are blind to runtime state, only ~4% of
+mutants actually contain UB, they cover few UB types, and they find no
+sanitizer FN bugs.
+
+Implemented operators (names follow the mutation-testing literature):
+
+* ``OAAN`` — replace an arithmetic operator (``+`` ↔ ``-`` ↔ ``*`` ↔ ``/``)
+* ``ORRN`` — replace a relational operator
+* ``OLLN`` — replace a logical operator (``&&`` ↔ ``||``)
+* ``CRCR`` — replace an integer constant (0, 1, -1, value±1, a large value)
+* ``OIDO`` — swap ``++`` and ``--``
+* ``SDL``  — delete a statement
+* ``ABS``  — negate a subexpression
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cdsl import ast_nodes as ast
+from repro.cdsl.parser import parse_program
+from repro.cdsl.printer import print_program
+from repro.cdsl.visitor import clone, find_nodes, replace_node, walk
+from repro.seedgen.csmith import SeedProgram
+from repro.utils.rng import RandomSource
+
+MUTATION_OPERATORS = ("OAAN", "ORRN", "OLLN", "CRCR", "OIDO", "SDL", "ABS")
+
+_ARITH = ["+", "-", "*", "/", "%"]
+_RELATIONAL = ["<", ">", "<=", ">=", "==", "!="]
+_LOGICAL = ["&&", "||"]
+
+
+@dataclass
+class Mutant:
+    """One MUSIC mutant: mutated source plus the operator that produced it."""
+
+    source: str
+    operator: str
+    seed_index: int
+    description: str = ""
+    metadata: dict = field(default_factory=dict)
+
+
+class MusicMutator:
+    """Applies random MUSIC mutation operators to seed programs."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def mutate(self, seed_program: SeedProgram, count: int = 10) -> List[Mutant]:
+        """Produce up to *count* syntactically valid mutants of one seed."""
+        rng = RandomSource(self.seed).fork(seed_program.index)
+        base_unit = parse_program(seed_program.source)
+        mutants: List[Mutant] = []
+        attempts = 0
+        while len(mutants) < count and attempts < count * 6:
+            attempts += 1
+            operator = rng.choice(MUTATION_OPERATORS)
+            mutant = self._apply(base_unit, operator, rng, seed_program.index)
+            if mutant is None:
+                continue
+            # Mutants must still be valid C text (they are re-parsed later by
+            # the compilers); a quick parse check filters printer corner cases.
+            try:
+                parse_program(mutant.source)
+            except Exception:
+                continue
+            mutants.append(mutant)
+        return mutants
+
+    # -- operators -------------------------------------------------------------
+
+    def _apply(self, base_unit: ast.TranslationUnit, operator: str,
+               rng: RandomSource, seed_index: int) -> Optional[Mutant]:
+        unit = clone(base_unit)
+        handler = getattr(self, f"_op_{operator.lower()}")
+        description = handler(unit, rng)
+        if description is None:
+            return None
+        return Mutant(source=print_program(unit), operator=operator,
+                      seed_index=seed_index, description=description)
+
+    def _op_oaan(self, unit: ast.TranslationUnit, rng: RandomSource) -> Optional[str]:
+        nodes = find_nodes(unit, ast.BinaryOp, lambda n: n.op in _ARITH)
+        if not nodes:
+            return None
+        node = rng.choice(nodes)
+        new_op = rng.choice([op for op in _ARITH if op != node.op])
+        old = node.op
+        node.op = new_op
+        return f"{old} -> {new_op}"
+
+    def _op_orrn(self, unit: ast.TranslationUnit, rng: RandomSource) -> Optional[str]:
+        nodes = find_nodes(unit, ast.BinaryOp, lambda n: n.op in _RELATIONAL)
+        if not nodes:
+            return None
+        node = rng.choice(nodes)
+        new_op = rng.choice([op for op in _RELATIONAL if op != node.op])
+        old = node.op
+        node.op = new_op
+        return f"{old} -> {new_op}"
+
+    def _op_olln(self, unit: ast.TranslationUnit, rng: RandomSource) -> Optional[str]:
+        nodes = find_nodes(unit, ast.BinaryOp, lambda n: n.op in _LOGICAL)
+        if not nodes:
+            return None
+        node = rng.choice(nodes)
+        node.op = "&&" if node.op == "||" else "||"
+        return "logical swap"
+
+    def _op_crcr(self, unit: ast.TranslationUnit, rng: RandomSource) -> Optional[str]:
+        nodes = find_nodes(unit, ast.IntLiteral)
+        if not nodes:
+            return None
+        node = rng.choice(nodes)
+        old = node.value
+        candidates = [0, 1, old + 1, max(0, old - 1), old * 2 + 1, 2_000_000_000]
+        node.value = rng.choice([c for c in candidates if c != old] or [old + 1])
+        return f"{old} -> {node.value}"
+
+    def _op_oido(self, unit: ast.TranslationUnit, rng: RandomSource) -> Optional[str]:
+        nodes = find_nodes(unit, ast.IncDec)
+        if not nodes:
+            return None
+        node = rng.choice(nodes)
+        node.op = "--" if node.op == "++" else "++"
+        return "incdec swap"
+
+    def _op_sdl(self, unit: ast.TranslationUnit, rng: RandomSource) -> Optional[str]:
+        blocks = find_nodes(unit, ast.CompoundStmt,
+                            lambda b: any(not isinstance(s, ast.DeclStmt)
+                                          for s in b.stmts))
+        if not blocks:
+            return None
+        block = rng.choice(blocks)
+        candidates = [i for i, s in enumerate(block.stmts)
+                      if not isinstance(s, (ast.DeclStmt, ast.ReturnStmt))]
+        if not candidates:
+            return None
+        index = rng.choice(candidates)
+        removed = block.stmts.pop(index)
+        return f"deleted {type(removed).__name__}"
+
+    def _op_abs(self, unit: ast.TranslationUnit, rng: RandomSource) -> Optional[str]:
+        nodes = [n for n in find_nodes(unit, ast.Identifier)
+                 if not self._is_store_target(unit, n)]
+        if not nodes:
+            return None
+        node = rng.choice(nodes)
+        negated = ast.UnaryOp("-", ast.Identifier(node.name, loc=node.loc),
+                              loc=node.loc)
+        if not replace_node(unit, node, negated):
+            return None
+        return f"negated {node.name}"
+
+    @staticmethod
+    def _is_store_target(unit: ast.TranslationUnit, node: ast.Identifier) -> bool:
+        for parent in walk(unit):
+            if isinstance(parent, ast.Assignment) and parent.target is node:
+                return True
+            if isinstance(parent, ast.IncDec) and parent.operand is node:
+                return True
+        return False

@@ -1,0 +1,32 @@
+"""Shared utilities: error hierarchy, deterministic RNG, text formatting."""
+
+from repro.utils.errors import (
+    CompilationError,
+    ExecutionError,
+    GenerationError,
+    LexError,
+    ParseError,
+    ProfilingError,
+    ReductionError,
+    ReproError,
+    SemaError,
+)
+from repro.utils.rng import RandomSource
+from repro.utils.text import format_table, indent, number_lines, percent
+
+__all__ = [
+    "CompilationError",
+    "ExecutionError",
+    "GenerationError",
+    "LexError",
+    "ParseError",
+    "ProfilingError",
+    "ReductionError",
+    "ReproError",
+    "SemaError",
+    "RandomSource",
+    "format_table",
+    "indent",
+    "number_lines",
+    "percent",
+]

@@ -1,0 +1,58 @@
+"""Deterministic random number helpers.
+
+All stochastic components (the Csmith-like seed generator, the MUSIC mutator,
+shadow statement synthesis, the fuzzing campaign) draw from a
+:class:`RandomSource` instead of the global :mod:`random` state, so that every
+experiment is reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class RandomSource:
+    """A seedable random source with a few convenience helpers."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def fork(self, salt: int) -> "RandomSource":
+        """Return an independent stream derived from this one.
+
+        Forking lets parallel or per-item work (one stream per seed program,
+        one per mutation site) stay reproducible regardless of ordering.
+        """
+        return RandomSource((self.seed * 1_000_003 + salt) & 0xFFFFFFFF)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Return a random integer in the inclusive range [lo, hi]."""
+        return self._rng.randint(lo, hi)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def choice(self, items: Sequence[T]) -> T:
+        if not items:
+            raise IndexError("choice() on an empty sequence")
+        return self._rng.choice(items)
+
+    def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have the same length")
+        return self._rng.choices(list(items), weights=list(weights), k=1)[0]
+
+    def shuffle(self, items: list) -> None:
+        self._rng.shuffle(items)
+
+    def sample(self, items: Sequence[T], k: int) -> list[T]:
+        k = min(k, len(items))
+        return self._rng.sample(list(items), k)
+
+    def flip(self, probability: float = 0.5) -> bool:
+        """Return True with the given probability."""
+        return self._rng.random() < probability

@@ -1,0 +1,43 @@
+"""Small text helpers shared by the printer, reports and benchmark tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def indent(text: str, spaces: int = 4) -> str:
+    """Indent every non-empty line of *text* by *spaces* spaces."""
+    pad = " " * spaces
+    return "\n".join(pad + line if line else line for line in text.splitlines())
+
+
+def number_lines(source: str) -> str:
+    """Return *source* with 1-based line numbers, for diagnostics."""
+    lines = source.splitlines()
+    width = len(str(len(lines)))
+    return "\n".join(f"{i + 1:>{width}} | {line}" for i, line in enumerate(lines))
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an ASCII table, used by benchmarks to print paper tables."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(row))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [fmt(list(headers)), sep]
+    out.extend(fmt(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def percent(numerator: int, denominator: int) -> str:
+    """Format a ratio as a percentage string with one decimal."""
+    if denominator == 0:
+        return "n/a"
+    return f"{100.0 * numerator / denominator:.1f}%"

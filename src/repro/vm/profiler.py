@@ -1,0 +1,107 @@
+"""Runtime profile collection (the VM side of paper §3.2.2).
+
+The UB program generator instruments the seed program with
+:class:`~repro.cdsl.ast_nodes.ProfileHook` wrappers around every matched
+expression and runs it once.  During that run the collector records
+
+* every observed value of each hooked expression (``Q_val``),
+* for hooked pointers/arrays, the memory object the value points into
+  (``Q_mem``), and
+* every allocation and free, giving the buffer ranges and heap state the
+  shadow statement synthesiser queries.
+
+The collector is deliberately VM-level (not source-level) so that a single
+profiling run serves all UB types, matching the paper's "the profiling
+overhead for all UB types is identical" implementation note.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cdsl import ast_nodes as ast
+from repro.cdsl import ctypes_ as ct
+from repro.vm.memory import Memory, MemoryObject
+from repro.vm.values import RuntimeValue
+
+
+@dataclass
+class ObservedBuffer:
+    """A memory object observation: its range and liveness at access time."""
+
+    name: str
+    base: int
+    size: int
+    kind: str
+    freed: bool
+    dead: bool
+    scope_id: Optional[int]
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+@dataclass
+class ValueObservation:
+    """One dynamic observation of a hooked expression."""
+
+    value: int
+    tainted: bool
+    address: Optional[int] = None          # lvalue address, when applicable
+    buffer: Optional[ObservedBuffer] = None  # object the value points into
+
+
+@dataclass
+class ProfileCollector:
+    """Accumulates runtime observations during one profiling run."""
+
+    values: Dict[str, List[ValueObservation]] = field(default_factory=dict)
+    allocations: List[ObservedBuffer] = field(default_factory=list)
+    freed_addresses: List[int] = field(default_factory=list)
+
+    # -- memory hooks (installed by the interpreter) --------------------------
+
+    def on_alloc(self, obj: MemoryObject) -> None:
+        self.allocations.append(_snapshot(obj))
+
+    def on_free(self, obj: MemoryObject) -> None:
+        self.freed_addresses.append(obj.base)
+
+    # -- expression hooks ------------------------------------------------------
+
+    def record_value(self, key: str, expr: ast.Expr, value: RuntimeValue,
+                     memory: Memory) -> None:
+        buffer = None
+        if expr.ctype is not None and ct.decay(expr.ctype).is_pointer:
+            target = memory.object_at(value.value)
+            if target is not None:
+                buffer = _snapshot(target)
+        self.values.setdefault(key, []).append(
+            ValueObservation(value.value, value.tainted, buffer=buffer))
+
+    def record_lvalue(self, key: str, expr: ast.Expr, addr: int,
+                      ctype: Optional[ct.CType], memory: Memory) -> None:
+        target = memory.object_at(addr)
+        buffer = _snapshot(target) if target is not None else None
+        self.values.setdefault(key, []).append(
+            ValueObservation(addr, False, address=addr, buffer=buffer))
+
+    # -- queries ---------------------------------------------------------------
+
+    def observations(self, key: str) -> List[ValueObservation]:
+        return self.values.get(key, [])
+
+    def first_observation(self, key: str) -> Optional[ValueObservation]:
+        obs = self.values.get(key)
+        return obs[0] if obs else None
+
+    def was_executed(self, key: str) -> bool:
+        return key in self.values
+
+
+def _snapshot(obj: MemoryObject) -> ObservedBuffer:
+    return ObservedBuffer(name=obj.name, base=obj.base, size=obj.size,
+                          kind=obj.kind, freed=obj.freed, dead=obj.dead,
+                          scope_id=obj.scope_id)

@@ -1,0 +1,93 @@
+"""Execution tracing and the debugger used by crash-site mapping.
+
+The paper uses LLDB's Python API to single-step compiled binaries and record
+the source ``(line, offset)`` of every executed instruction (Algorithm 2,
+``GetExecutedSites``).  Our VM records the same information natively while
+interpreting; the :class:`Debugger` class exposes it through an LLDB-like
+stepping interface so the oracle code mirrors the paper's algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.vm.errors import ExecutionResult
+
+
+class Debugger:
+    """An LLDB-flavoured wrapper over a completed execution trace.
+
+    The debugger "runs" the target binary when :meth:`init` is called (the
+    VM interprets the whole program and records the site trace), then
+    exposes the recorded instruction stream through ``is_alive`` /
+    ``next_instruction`` / ``curr_line`` / ``curr_offset``, mirroring the
+    paper's Algorithm 2.
+    """
+
+    def __init__(self) -> None:
+        self._trace: List[tuple[int, int]] = []
+        self._index = 0
+        self._result: Optional[ExecutionResult] = None
+
+    def init(self, binary) -> None:
+        """Launch *binary* (anything with a ``run()`` returning ExecutionResult)."""
+        self._result = binary.run()
+        self._trace = list(self._result.site_trace)
+        self._index = 0
+
+    @property
+    def result(self) -> ExecutionResult:
+        if self._result is None:
+            raise RuntimeError("Debugger.init() has not been called")
+        return self._result
+
+    def is_alive(self) -> bool:
+        return self._index < len(self._trace)
+
+    @property
+    def curr_line(self) -> int:
+        return self._trace[self._index][0]
+
+    @property
+    def curr_offset(self) -> int:
+        return self._trace[self._index][1]
+
+    def next_instruction(self) -> None:
+        self._index += 1
+
+
+def get_executed_sites(binary) -> List[tuple[int, int]]:
+    """Algorithm 2's ``GetExecutedSites``: all executed (line, offset) pairs.
+
+    Uses the :class:`Debugger` stepping interface; the returned list is in
+    execution order and may contain duplicates (loops).
+    """
+    debugger = Debugger()
+    debugger.init(binary)
+    sites: List[tuple[int, int]] = []
+    while debugger.is_alive():
+        sites.append((debugger.curr_line, debugger.curr_offset))
+        debugger.next_instruction()
+    return sites
+
+
+def crash_site_of(result: ExecutionResult) -> Optional[tuple[int, int]]:
+    """The crash site of a run, or None if the run did not crash."""
+    if not result.crashed:
+        return None
+    if result.crash_site is not None:
+        return result.crash_site
+    if result.site_trace:
+        return result.site_trace[-1]
+    return None
+
+
+def sites_cover(result: ExecutionResult, site: tuple[int, int]) -> bool:
+    """True if *site* was executed during *result*'s run."""
+    return site in result.executed_sites
+
+
+def format_trace(sites: Sequence[tuple[int, int]], limit: int = 20) -> str:
+    """Human-readable rendering of the tail of a site trace."""
+    tail = list(sites)[-limit:]
+    return " -> ".join(f"{line}:{col}" for line, col in tail)

@@ -1,0 +1,69 @@
+"""Runtime values.
+
+Scalars (integers and pointers) are represented as a small
+:class:`RuntimeValue` carrying the integer payload and an *uninitialized*
+taint bit.  The taint bit is the VM-level substrate that MemorySanitizer
+builds on: reads of never-written memory produce tainted values, arithmetic
+propagates taint, and the MSan check inserted at branches reports when a
+tainted value influences control flow (paper Table 1, "Use of Uninit.
+Memory").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cdsl import ctypes_ as ct
+
+#: The deterministic byte pattern returned when reading memory that was
+#: never written.  Using a non-zero pattern mimics real stack garbage and
+#: keeps uninitialised branches observable.
+UNINIT_BYTE = 0xAA
+
+
+@dataclass(frozen=True)
+class RuntimeValue:
+    """An integer or pointer value plus its uninitialized-taint bit."""
+
+    value: int
+    tainted: bool = False
+
+    def with_value(self, value: int) -> "RuntimeValue":
+        return RuntimeValue(value, self.tainted)
+
+    def __int__(self) -> int:
+        return self.value
+
+    @property
+    def is_true(self) -> bool:
+        return self.value != 0
+
+
+ZERO = RuntimeValue(0)
+ONE = RuntimeValue(1)
+
+
+def make_value(value: int, tainted: bool = False) -> RuntimeValue:
+    return RuntimeValue(value, tainted)
+
+
+def coerce(value: RuntimeValue, ctype: ct.CType) -> RuntimeValue:
+    """Convert *value* to *ctype* the way a store/cast would (wrapping)."""
+    if isinstance(ctype, ct.IntType):
+        return RuntimeValue(ctype.wrap(value.value), value.tainted)
+    if isinstance(ctype, (ct.PointerType, ct.ArrayType, ct.FunctionType)):
+        return RuntimeValue(value.value & ((1 << 64) - 1), value.tainted)
+    return value
+
+
+def combine_taint(*values: RuntimeValue) -> bool:
+    return any(v.tainted for v in values)
+
+
+def int_from_bytes(data: bytes, signed: bool) -> int:
+    return int.from_bytes(data, "little", signed=signed)
+
+
+def int_to_bytes(value: int, size: int) -> bytes:
+    mask = (1 << (8 * size)) - 1
+    return (value & mask).to_bytes(size, "little")

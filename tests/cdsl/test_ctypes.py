@@ -1,0 +1,120 @@
+"""Unit tests for the C type system."""
+
+import pytest
+
+from repro.cdsl import ctypes_ as ct
+
+
+def test_integer_sizes():
+    assert ct.CHAR.sizeof() == 1
+    assert ct.SHORT.sizeof() == 2
+    assert ct.INT.sizeof() == 4
+    assert ct.LONG.sizeof() == 8
+
+
+def test_integer_ranges():
+    assert ct.INT.min_value == -(2 ** 31)
+    assert ct.INT.max_value == 2 ** 31 - 1
+    assert ct.UINT.min_value == 0
+    assert ct.UINT.max_value == 2 ** 32 - 1
+
+
+def test_contains():
+    assert ct.INT.contains(2 ** 31 - 1)
+    assert not ct.INT.contains(2 ** 31)
+    assert ct.UCHAR.contains(255)
+    assert not ct.UCHAR.contains(-1)
+
+
+def test_wrap_signed_overflow():
+    assert ct.INT.wrap(2 ** 31) == -(2 ** 31)
+    assert ct.INT.wrap(-(2 ** 31) - 1) == 2 ** 31 - 1
+
+
+def test_wrap_unsigned():
+    assert ct.UINT.wrap(2 ** 32 + 5) == 5
+    assert ct.UINT.wrap(-1) == 2 ** 32 - 1
+
+
+def test_pointer_size_and_str():
+    ptr = ct.pointer_to(ct.INT)
+    assert ptr.sizeof() == 8
+    assert "int" in str(ptr)
+
+
+def test_array_size():
+    arr = ct.array_of(ct.INT, 5)
+    assert arr.sizeof() == 20
+    assert arr.alignof() == 4
+
+
+def test_struct_layout_with_alignment():
+    struct = ct.StructType.create("s", [("a", ct.CHAR), ("b", ct.INT)])
+    assert struct.field_named("a").offset == 0
+    assert struct.field_named("b").offset == 4
+    assert struct.sizeof() == 8
+
+
+def test_struct_field_lookup_missing():
+    struct = ct.StructType.create("s", [("a", ct.INT)])
+    assert struct.field_named("zzz") is None
+
+
+def test_empty_struct_has_nonzero_size():
+    struct = ct.StructType.create("empty", [])
+    assert struct.sizeof() >= 1
+
+
+def test_integer_type_named():
+    assert ct.integer_type_named("unsigned int") is ct.UINT
+    with pytest.raises(KeyError):
+        ct.integer_type_named("float")
+
+
+def test_decay_array_to_pointer():
+    arr = ct.array_of(ct.SHORT, 3)
+    decayed = ct.decay(arr)
+    assert isinstance(decayed, ct.PointerType)
+    assert decayed.pointee == ct.SHORT
+
+
+def test_decay_leaves_other_types_alone():
+    assert ct.decay(ct.INT) is ct.INT
+
+
+def test_integer_promotion():
+    assert ct.integer_promote(ct.CHAR) == ct.INT
+    assert ct.integer_promote(ct.SHORT) == ct.INT
+    assert ct.integer_promote(ct.LONG) == ct.LONG
+
+
+def test_usual_arithmetic_conversion_same_sign():
+    assert ct.usual_arithmetic_conversion(ct.INT, ct.LONG) == ct.LONG
+    assert ct.usual_arithmetic_conversion(ct.UINT, ct.ULONG) == ct.ULONG
+
+
+def test_usual_arithmetic_conversion_mixed_sign():
+    assert ct.usual_arithmetic_conversion(ct.INT, ct.UINT) == ct.UINT
+    assert ct.usual_arithmetic_conversion(ct.ULONG, ct.INT) == ct.ULONG
+
+
+def test_usual_arithmetic_conversion_promotes_narrow_types():
+    assert ct.usual_arithmetic_conversion(ct.CHAR, ct.SHORT) == ct.INT
+
+
+def test_pointer_compatibility():
+    int_ptr = ct.pointer_to(ct.INT)
+    void_ptr = ct.pointer_to(ct.VOID)
+    assert ct.is_compatible_pointer(int_ptr, int_ptr)
+    assert ct.is_compatible_pointer(int_ptr, void_ptr)
+    assert not ct.is_compatible_pointer(int_ptr, ct.pointer_to(ct.SHORT))
+    assert not ct.is_compatible_pointer(int_ptr, ct.INT)
+
+
+def test_type_predicates():
+    assert ct.INT.is_integer and ct.INT.is_scalar
+    assert ct.pointer_to(ct.INT).is_pointer
+    assert ct.array_of(ct.INT, 2).is_array
+    assert ct.VOID.is_void
+    struct = ct.StructType.create("p", [("x", ct.INT)])
+    assert struct.is_struct and not struct.is_scalar

@@ -1,0 +1,161 @@
+"""Printer round-trip tests and visitor utility tests."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cdsl import ast_nodes as ast
+from repro.cdsl.parser import parse_expression, parse_program
+from repro.cdsl.printer import print_expr, print_program
+from repro.cdsl.sema import analyze
+from repro.cdsl.visitor import (
+    clone,
+    clone_fresh,
+    count_nodes,
+    enclosing_statement,
+    find_nodes,
+    insert_before,
+    parent_map,
+    replace_node,
+    walk,
+)
+from repro.seedgen import CsmithGenerator, GeneratorConfig
+from repro.vm import run_program
+
+
+# ---------------------------------------------------------------------------
+# Printer round trips
+# ---------------------------------------------------------------------------
+
+ROUNDTRIP_EXPRESSIONS = [
+    "1 + 2 * 3",
+    "(1 + 2) * 3",
+    "a << 2 | b & 3",
+    "a && b || c",
+    "-x + ~y",
+    "p->f + s.g",
+    "arr[i + 1] = v",
+    "x = y = 0",
+    "f(a, b + 1)",
+    "(unsigned int)x % 8",
+    "a ? b : c",
+    "*(p + 2)",
+    "&buf[3]",
+    "x++ + --y",
+    "a == 0 ? 1 : b / a",
+]
+
+
+@pytest.mark.parametrize("source", ROUNDTRIP_EXPRESSIONS)
+def test_expression_roundtrip_preserves_structure(source):
+    expr = parse_expression(source)
+    printed = print_expr(expr)
+    reparsed = parse_expression(printed)
+    assert print_expr(reparsed) == printed
+
+
+def test_program_roundtrip_figure1(figure1_source):
+    unit = parse_program(figure1_source)
+    printed = print_program(unit)
+    reparsed = parse_program(printed)
+    assert print_program(reparsed) == printed
+
+
+def test_roundtrip_preserves_program_behaviour(simple_source):
+    unit = parse_program(simple_source)
+    info = analyze(unit)
+    before = run_program(unit, info)
+    reparsed = parse_program(print_program(unit))
+    info2 = analyze(reparsed)
+    after = run_program(reparsed, info2)
+    assert before.exit_code == after.exit_code
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(index=st.integers(min_value=0, max_value=300))
+def test_generated_seed_roundtrip_is_stable(index):
+    """Property: printing and re-parsing any generated seed is a fixpoint."""
+    generator = CsmithGenerator(GeneratorConfig(seed=77))
+    seed = generator.generate(index, validate=False)
+    unit = parse_program(seed.source)
+    printed = print_program(unit)
+    assert print_program(parse_program(printed)) == printed
+
+
+def test_negative_literal_printing_roundtrips():
+    literal = ast.IntLiteral(-7)
+    printed = print_expr(literal)
+    assert parse_expression(printed) is not None
+
+
+# ---------------------------------------------------------------------------
+# Visitor utilities
+# ---------------------------------------------------------------------------
+
+def test_walk_visits_all_nodes(simple_unit):
+    nodes = list(walk(simple_unit))
+    assert simple_unit in nodes
+    assert count_nodes(simple_unit) == len(nodes)
+
+
+def test_find_nodes_with_predicate(simple_unit):
+    adds = find_nodes(simple_unit, ast.BinaryOp, lambda n: n.op == "+")
+    assert len(adds) >= 2
+
+
+def test_parent_map_contains_children(simple_unit):
+    parents = parent_map(simple_unit)
+    some_literal = find_nodes(simple_unit, ast.IntLiteral)[0]
+    assert some_literal.node_id in parents
+
+
+def test_enclosing_statement(simple_unit):
+    subscript = find_nodes(simple_unit, ast.ArraySubscript)[0]
+    main = simple_unit.function_named("main")
+    stmt = enclosing_statement(main.body, subscript)
+    assert isinstance(stmt, ast.Stmt)
+
+
+def test_clone_preserves_node_ids(simple_unit):
+    copy = clone(simple_unit)
+    original_ids = [n.node_id for n in walk(simple_unit)]
+    copied_ids = [n.node_id for n in walk(copy)]
+    assert original_ids == copied_ids
+    assert copy is not simple_unit
+
+
+def test_clone_fresh_assigns_new_ids(simple_unit):
+    copy = clone_fresh(simple_unit)
+    original_ids = {n.node_id for n in walk(simple_unit)}
+    copied_ids = {n.node_id for n in walk(copy)}
+    assert original_ids.isdisjoint(copied_ids)
+
+
+def test_replace_node_swaps_expression():
+    unit = parse_program("int main() { return 1 + 2; }")
+    target = find_nodes(unit, ast.BinaryOp)[0]
+    replaced = replace_node(unit, target, ast.IntLiteral(99))
+    assert replaced
+    assert find_nodes(unit, ast.IntLiteral, lambda n: n.value == 99)
+
+
+def test_replace_node_missing_target_returns_false():
+    unit = parse_program("int main() { return 1; }")
+    stray = ast.IntLiteral(5)
+    assert not replace_node(unit, stray, ast.IntLiteral(6))
+
+
+def test_insert_before_statement():
+    unit = parse_program("int main() { int x = 1; return x; }")
+    ret = find_nodes(unit, ast.ReturnStmt)[0]
+    new_stmt = ast.ExprStmt(ast.Assignment("=", ast.Identifier("x"), ast.IntLiteral(5)))
+    assert insert_before(unit, ret, [new_stmt])
+    body = unit.functions[0].body
+    assert body.stmts[1] is new_stmt
+
+
+def test_insert_before_missing_anchor_returns_false():
+    unit = parse_program("int main() { return 0; }")
+    stray = ast.ReturnStmt(ast.IntLiteral(1))
+    assert not insert_before(unit, stray, [ast.EmptyStmt()])

@@ -1,0 +1,153 @@
+"""Unit tests for semantic analysis (scopes, name resolution, typing)."""
+
+import pytest
+
+from repro.cdsl import ast_nodes as ast
+from repro.cdsl import ctypes_ as ct
+from repro.cdsl.parser import parse_program
+from repro.cdsl.sema import analyze
+from repro.cdsl.visitor import find_nodes
+from repro.utils.errors import SemaError
+
+
+def analyzed(source):
+    unit = parse_program(source)
+    info = analyze(unit)
+    return unit, info
+
+
+def test_global_symbols_registered():
+    unit, info = analyzed("int a = 1; int b;")
+    assert info.symbol_named("a") is not None
+    assert info.symbol_named("a").is_global
+
+
+def test_identifier_resolution_points_to_symbol():
+    unit, info = analyzed("int g; int main() { return g; }")
+    ident = find_nodes(unit, ast.Identifier, lambda n: n.name == "g")[0]
+    assert ident.symbol is info.symbol_named("g")
+
+
+def test_local_shadowing_of_global():
+    unit, info = analyzed("int x = 1; int main() { int x = 2; return x; }")
+    idents = find_nodes(unit, ast.Identifier, lambda n: n.name == "x")
+    assert idents[0].symbol.storage == "local"
+
+
+def test_param_symbols():
+    unit, info = analyzed("int f(int p) { return p; }")
+    ident = find_nodes(unit, ast.Identifier, lambda n: n.name == "p")[0]
+    assert ident.symbol.storage == "param"
+
+
+def test_undeclared_identifier_raises():
+    with pytest.raises(SemaError):
+        analyzed("int main() { return nothing; }")
+
+
+def test_unknown_function_call_raises():
+    with pytest.raises(SemaError):
+        analyzed("int main() { return mystery(1); }")
+
+
+def test_builtin_functions_are_known():
+    unit, _info = analyzed(
+        'int main() { int *p = malloc(8); free(p); printf("x"); return 0; }')
+    calls = find_nodes(unit, ast.Call)
+    assert {c.name for c in calls} == {"malloc", "free", "printf"}
+
+
+def test_expression_types_arithmetic():
+    unit, _ = analyzed("int main() { int a = 1; long b = 2; return a + b > 0; }")
+    add = find_nodes(unit, ast.BinaryOp, lambda n: n.op == "+")[0]
+    assert add.ctype == ct.LONG
+
+
+def test_expression_types_comparison_is_int():
+    unit, _ = analyzed("int main() { long a = 1; return a < 2; }")
+    cmp_node = find_nodes(unit, ast.BinaryOp, lambda n: n.op == "<")[0]
+    assert cmp_node.ctype == ct.INT
+
+
+def test_pointer_arithmetic_type():
+    unit, _ = analyzed("int arr[4]; int main() { int *p = arr; return *(p + 1); }")
+    add = find_nodes(unit, ast.BinaryOp, lambda n: n.op == "+")[0]
+    assert isinstance(add.ctype, ct.PointerType)
+
+
+def test_array_subscript_type_is_element():
+    unit, _ = analyzed("short arr[4]; int main() { return arr[1]; }")
+    sub = find_nodes(unit, ast.ArraySubscript)[0]
+    assert sub.ctype == ct.SHORT
+
+
+def test_deref_of_non_pointer_raises():
+    with pytest.raises(SemaError):
+        analyzed("int main() { int x = 1; return *x; }")
+
+
+def test_member_access_types():
+    unit, _ = analyzed("""
+struct s { int a; long b; };
+struct s v;
+struct s *p = &v;
+int main() { return v.a + (int)p->b; }
+""")
+    members = find_nodes(unit, ast.MemberAccess)
+    types = {m.field: m.ctype for m in members}
+    assert types["a"] == ct.INT
+    assert types["b"] == ct.LONG
+
+
+def test_unknown_struct_field_raises():
+    with pytest.raises(SemaError):
+        analyzed("struct s { int a; };\nstruct s v;\nint main() { return v.zz; }")
+
+
+def test_scopes_are_nested():
+    unit, info = analyzed("""
+int main() {
+  int outer = 1;
+  {
+    int inner = 2;
+    outer = inner;
+  }
+  return outer;
+}
+""")
+    outer = info.symbol_named("outer")
+    inner = info.symbol_named("inner")
+    assert outer.scope.is_ancestor_of(inner.scope)
+    assert not inner.scope.is_ancestor_of(outer.scope)
+    assert inner.scope.depth > outer.scope.depth
+
+
+def test_for_loop_declares_in_its_own_scope():
+    unit, info = analyzed("int main() { for (int i = 0; i < 2; i++) { } return 0; }")
+    loop_var = info.symbol_named("i")
+    assert loop_var.scope.depth >= 2
+
+
+def test_compound_blocks_get_scope_ids():
+    unit, _ = analyzed("int main() { { int t = 1; t = 2; } return 0; }")
+    blocks = find_nodes(unit, ast.CompoundStmt)
+    assert all(b.scope_id is not None for b in blocks)
+
+
+def test_literal_typing_rules():
+    unit, _ = analyzed("int main() { long a = 3000000000; return a > 0; }")
+    literal = find_nodes(unit, ast.IntLiteral, lambda n: n.value == 3000000000)[0]
+    assert literal.ctype in (ct.UINT, ct.LONG)
+
+
+def test_string_literal_type_is_char_pointer():
+    unit, _ = analyzed('int main() { printf("hi"); return 0; }')
+    literal = find_nodes(unit, ast.StringLiteral)[0]
+    assert isinstance(literal.ctype, ct.PointerType)
+
+
+def test_reanalysis_is_idempotent(simple_unit):
+    # Compiling re-runs sema after optimization; make sure running it twice
+    # over the same tree does not raise and keeps types stable.
+    info_again = analyze(simple_unit)
+    assert info_again.symbol_named("g") is not None

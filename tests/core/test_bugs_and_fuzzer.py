@@ -1,0 +1,117 @@
+"""Tests for bug triage, deduplication and the fuzzing campaign."""
+
+import pytest
+
+from repro.core import (
+    BugTriager,
+    CampaignConfig,
+    FuzzingCampaign,
+    STATUS_CONFIRMED,
+    STATUS_FIXED,
+    STATUS_INVALID,
+    UBType,
+)
+from repro.core.bugs import BugReport
+from repro.sanitizers.defects import default_defects
+
+
+# The tiny campaign fixture (2 seeds, 3 opt levels) is shared session-wide.
+
+def test_campaign_generates_and_tests_programs(small_campaign):
+    assert small_campaign.stats.programs_tested > 0
+    assert small_campaign.stats.seeds_used == 2
+    assert small_campaign.stats.total_programs() == small_campaign.stats.programs_tested
+    assert small_campaign.stats.duration_seconds > 0
+
+
+def test_campaign_finds_fn_bug_candidates(small_campaign):
+    assert small_campaign.stats.fn_candidates > 0
+    assert small_campaign.bug_reports
+
+
+def test_campaign_bug_reports_are_deduplicated(small_campaign):
+    ids = [report.bug_id for report in small_campaign.bug_reports]
+    assert len(ids) == len(set(ids))
+
+
+def test_campaign_bugs_are_confirmed_against_seeded_defects(small_campaign):
+    confirmed = [r for r in small_campaign.bug_reports if r.confirmed]
+    assert confirmed, "expected at least one triaged (confirmed) bug"
+    for report in confirmed:
+        assert report.defect is not None
+        assert report.category is not None
+        assert report.compiler == report.defect.compiler
+        assert report.sanitizer == report.defect.sanitizer
+
+
+def test_campaign_bug_reports_record_affected_levels_and_versions(small_campaign):
+    for report in small_campaign.bug_reports:
+        if not report.confirmed:
+            continue
+        assert report.affected_opt_levels
+        assert report.affected_versions
+        assert all(isinstance(v, int) for v in report.affected_versions)
+
+
+def test_campaign_grouping_helpers(small_campaign):
+    by_cs = small_campaign.bugs_by_compiler_sanitizer()
+    assert sum(len(v) for v in by_cs.values()) == len(small_campaign.bug_reports)
+    by_ub = small_campaign.bugs_by_ub_type()
+    assert all(isinstance(k, UBType) for k in by_ub)
+    by_cat = small_campaign.bugs_by_category()
+    assert by_cat
+
+
+def test_campaign_counts_optimization_discrepancies(small_campaign):
+    # Crash-site mapping must have filtered at least some discrepancies, or
+    # classified all of them as bugs; either way the counter is consistent.
+    assert small_campaign.stats.optimization_discrepancies >= 0
+    assert small_campaign.stats.discrepant_programs <= small_campaign.stats.programs_tested
+
+
+def test_campaign_without_triage_produces_no_reports():
+    config = CampaignConfig(num_seeds=1, rng_seed=3, max_programs_per_type=1,
+                            opt_levels=("-O0", "-O2"), triage=False)
+    result = FuzzingCampaign(config).run()
+    assert result.bug_reports == []
+
+
+def test_campaign_with_empty_defect_registry_finds_no_bugs():
+    """With correct sanitizers there is nothing to find: every discrepancy is
+    optimization-caused and crash-site mapping filters it out."""
+    config = CampaignConfig(num_seeds=1, rng_seed=11, max_programs_per_type=1,
+                            opt_levels=("-O0", "-O2"), defect_registry=[])
+    result = FuzzingCampaign(config).run()
+    assert result.bug_reports == []
+    assert result.stats.fn_candidates == 0
+
+
+# -- triager unit behaviour ------------------------------------------------------------
+
+def test_triager_attributes_candidate_to_defect(small_campaign):
+    triager = BugTriager()
+    candidate = small_campaign.fn_candidates[0]
+    report = triager.triage_fn_candidate(candidate)
+    assert isinstance(report, BugReport)
+    assert report.status in (STATUS_CONFIRMED, STATUS_FIXED, STATUS_INVALID)
+    assert report.ub_type == candidate.program.ub_type
+
+
+def test_triager_status_fixed_requires_fixed_version(small_campaign):
+    for report in small_campaign.bug_reports:
+        if report.status == STATUS_FIXED:
+            assert report.defect.fixed_version is not None
+        if report.status == STATUS_CONFIRMED and report.defect is not None:
+            assert report.defect.fixed_version is None
+
+
+def test_triager_deduplicate_merges_metadata():
+    defect = default_defects()[0]
+    def make(levels):
+        return BugReport(bug_id="x", compiler="gcc", sanitizer="asan",
+                         ub_type=UBType.BUFFER_OVERFLOW_ARRAY, program=None,
+                         crash_site=None, defect=defect,
+                         affected_opt_levels=levels, affected_versions=[6])
+    merged = BugTriager().deduplicate([make(["-O2"]), make(["-O3"])])
+    assert len(merged) == 1
+    assert set(merged[0].affected_opt_levels) == {"-O2", "-O3"}

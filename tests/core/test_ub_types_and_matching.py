@@ -1,0 +1,132 @@
+"""Tests for the UB type registry (Table 1/2) and expression matching."""
+
+from repro.cdsl import analyze, ast_nodes as ast, parse_program
+from repro.core.matching import get_matched_exprs
+from repro.core.ub_types import (
+    ALL_UB_TYPES,
+    EXPECTED_REPORT_KINDS,
+    SANITIZERS_FOR_UB,
+    UBType,
+    detects,
+    sanitizers_for,
+    ub_type_of_report,
+    ub_types_for_sanitizer,
+)
+from repro.sanitizers import report as rk
+
+
+def test_all_nine_ub_types_exist():
+    assert len(ALL_UB_TYPES) == 9
+
+
+def test_table2_sanitizer_mapping():
+    assert sanitizers_for(UBType.BUFFER_OVERFLOW_ARRAY) == ("asan", "ubsan")
+    assert sanitizers_for(UBType.USE_AFTER_FREE) == ("asan",)
+    assert sanitizers_for(UBType.NULL_POINTER_DEREF) == ("ubsan",)
+    assert sanitizers_for(UBType.USE_OF_UNINIT_MEMORY) == ("msan",)
+
+
+def test_every_ub_type_has_expected_report_kinds():
+    for ub in ALL_UB_TYPES:
+        assert EXPECTED_REPORT_KINDS[ub]
+        assert SANITIZERS_FOR_UB[ub]
+
+
+def test_ub_types_for_sanitizer_transpose():
+    asan_types = ub_types_for_sanitizer("asan")
+    assert UBType.USE_AFTER_SCOPE in asan_types
+    assert UBType.DIVIDE_BY_ZERO not in asan_types
+    assert ub_types_for_sanitizer("msan") == [UBType.USE_OF_UNINIT_MEMORY]
+
+
+def test_detects_and_reverse_mapping():
+    assert detects(UBType.DIVIDE_BY_ZERO, rk.DIVISION_BY_ZERO)
+    assert not detects(UBType.DIVIDE_BY_ZERO, rk.STACK_BUFFER_OVERFLOW)
+    assert ub_type_of_report(rk.HEAP_USE_AFTER_FREE) == UBType.USE_AFTER_FREE
+    assert ub_type_of_report("not-a-kind") is None
+
+
+def test_display_names():
+    assert UBType.BUFFER_OVERFLOW_ARRAY.display_name == "Buf. Overflow (Array)"
+
+
+# -- matching -----------------------------------------------------------------------
+
+MATCH_SOURCE = """
+int arr[5];
+int g = 3;
+int *p = &g;
+int main() {
+  int x = 1;
+  int y = 2;
+  int *hp = malloc(16);
+  hp[0] = 1;
+  arr[x] = x + y;
+  *p = x * y - 1;
+  int z = x / y;
+  z = x << y;
+  z = x % y;
+  if (z) { g = z; }
+  while (x > 0) { x = x - 1; }
+  free(hp);
+  return *p + z;
+}
+"""
+
+
+def matched(ub_type):
+    unit = parse_program(MATCH_SOURCE)
+    analyze(unit)
+    return get_matched_exprs(unit, ub_type)
+
+
+def test_match_array_subscripts():
+    matches = matched(UBType.BUFFER_OVERFLOW_ARRAY)
+    assert all(isinstance(m.expr, ast.ArraySubscript) for m in matches)
+    assert len(matches) == 1  # only arr[x] has a declared array base
+    assert matches[0].operands["length"] == 5
+
+
+def test_match_pointer_dereferences():
+    matches = matched(UBType.BUFFER_OVERFLOW_POINTER)
+    assert len(matches) >= 3  # *p (write), hp[0], *p (read)
+
+
+def test_match_pointer_identifier_only_for_uaf():
+    matches = matched(UBType.USE_AFTER_FREE)
+    for m in matches:
+        pointer = m.operands["pointer"]
+        assert isinstance(pointer, ast.Identifier)
+
+
+def test_match_arithmetic():
+    matches = matched(UBType.INTEGER_OVERFLOW)
+    ops = {m.operands["op"] for m in matches}
+    assert {"+", "*", "-"} <= ops
+
+
+def test_match_shift_and_division():
+    shifts = matched(UBType.SHIFT_OVERFLOW)
+    divisions = matched(UBType.DIVIDE_BY_ZERO)
+    assert len(shifts) == 1
+    assert {m.operands["op"] for m in divisions} == {"/", "%"}
+
+
+def test_match_conditions_for_uninit():
+    matches = matched(UBType.USE_OF_UNINIT_MEMORY)
+    assert len(matches) == 2  # the if condition and the while condition
+
+
+def test_matches_record_enclosing_statement_and_key():
+    matches = matched(UBType.BUFFER_OVERFLOW_ARRAY)
+    match = matches[0]
+    assert match.stmt is not None
+    assert match.key.startswith("m")
+    assert match.function.name == "main"
+
+
+def test_matching_every_type_on_generated_seed(sample_seed):
+    unit = parse_program(sample_seed.source)
+    analyze(unit)
+    for ub in ALL_UB_TYPES:
+        assert isinstance(get_matched_exprs(unit, ub), list)

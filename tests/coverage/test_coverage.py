@@ -1,0 +1,75 @@
+"""Tests for the coverage tracker and reports (Table 5 substrate)."""
+
+from repro.compilers import GccCompiler
+from repro.compilers.options import CompileOptions
+from repro.coverage import CoverageReport, CoverageTracker, merge_reports, report_from_tracker
+
+
+def test_static_inventory_is_nonempty():
+    tracker = CoverageTracker()
+    assert tracker.total_lines > 200
+    assert tracker.total_functions > 30
+    assert tracker.total_branch_directions >= 10
+
+
+def test_initial_coverage_is_zero():
+    tracker = CoverageTracker()
+    assert tracker.line_coverage() == 0.0
+    assert tracker.function_coverage() == 0.0
+    assert tracker.branch_coverage() == 0.0
+
+
+def test_explicit_points_and_branches():
+    tracker = CoverageTracker()
+    tracker.hit_point("asan.defect.skip.X")
+    tracker.hit_branch("optim.dce.pure_exprstmt", True)
+    tracker.hit_branch("optim.dce.pure_exprstmt", False)
+    assert tracker.branch_coverage() > 0.0
+    assert ("optim.dce.pure_exprstmt", True) in tracker.branch_directions
+
+
+def test_compiling_under_tracker_records_lines_and_functions(simple_source):
+    tracker = CoverageTracker()
+    compiler = GccCompiler(coverage=tracker)
+    with tracker:
+        compiler.compile(simple_source,
+                         CompileOptions(opt_level="-O2", sanitizer="asan"))
+    assert tracker.line_coverage() > 0.05
+    assert tracker.function_coverage() > 0.05
+    assert tracker.branch_coverage() > 0.0
+
+
+def test_richer_corpus_covers_at_least_as_much(simple_source, figure1_source):
+    small = CoverageTracker()
+    compiler = GccCompiler(coverage=small)
+    with small:
+        compiler.compile(simple_source, CompileOptions(opt_level="-O0", sanitizer="asan"))
+    large = CoverageTracker()
+    compiler = GccCompiler(coverage=large)
+    with large:
+        for source in (simple_source, figure1_source):
+            for sanitizer in ("asan", "ubsan"):
+                compiler.compile(source, CompileOptions(opt_level="-O2",
+                                                        sanitizer=sanitizer))
+    assert large.line_coverage() >= small.line_coverage()
+    assert large.branch_coverage() >= small.branch_coverage()
+
+
+def test_snapshot_and_reset():
+    tracker = CoverageTracker()
+    tracker.hit_branch("optim.x", True)
+    snap = tracker.snapshot()
+    assert snap.branch_directions
+    tracker.reset()
+    assert not tracker.branch_directions
+
+
+def test_report_from_tracker_and_merge():
+    tracker = CoverageTracker()
+    report = report_from_tracker(tracker, "seeds", "gcc")
+    assert isinstance(report, CoverageReport)
+    rows = merge_reports({"seeds": report,
+                          "ubfuzz": report_from_tracker(tracker, "ubfuzz", "gcc")})
+    assert rows[0][0] == "seeds"
+    assert rows[-1][0] == "ubfuzz"
+    assert report.as_row()[2].endswith("%")

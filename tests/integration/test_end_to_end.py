@@ -1,0 +1,155 @@
+"""Integration tests: the paper's motivating examples and the full pipeline,
+plus property-based checks tying the layers together."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compilers import GccCompiler, LlvmCompiler
+from repro.core import (
+    DifferentialTester,
+    UBGenerator,
+    UBProgram,
+    UBType,
+    is_sanitizer_bug_from_results,
+)
+from repro.core.ub_types import ALL_UB_TYPES, EXPECTED_REPORT_KINDS, sanitizers_for
+from repro.seedgen import CsmithGenerator, GeneratorConfig
+
+
+# -- the paper's running examples -----------------------------------------------------
+
+def test_figure1_workflow_end_to_end(figure1_source):
+    """Figure 1 + §2.2: GCC ASan detects the overflow at -O0, misses it at
+    -O2 (on the defective version), and crash-site mapping attributes the
+    discrepancy to a sanitizer FN bug."""
+    gcc = GccCompiler(version=13)
+    detected = gcc.compile(figure1_source, opt_level="-O0", sanitizer="asan").run()
+    missed = gcc.compile(figure1_source, opt_level="-O2", sanitizer="asan").run()
+    assert detected.crashed and detected.report.kind.endswith("buffer-overflow")
+    assert missed.exited_normally
+    verdict = is_sanitizer_bug_from_results(detected, missed)
+    assert verdict.is_bug
+    # The crash site is the line of "*c = *(d + k);" in the source.
+    assert verdict.crash_site[0] == 8
+
+
+def test_figure3_discrepancy_is_classified_as_optimization(figure3_source):
+    gcc = GccCompiler(defect_registry=[])
+    crashing = gcc.compile(figure3_source, opt_level="-O0", sanitizer="asan").run()
+    normal = gcc.compile(figure3_source, opt_level="-O2", sanitizer="asan").run()
+    verdict = is_sanitizer_bug_from_results(crashing, normal)
+    assert not verdict.is_bug
+
+
+def test_figure12b_boolean_widened_division(figure1_source):
+    """Figure 12b: GCC UBSan misses a division-by-zero whose dividend is a
+    boolean widened through a cast to short; LLVM UBSan at -O0 detects it."""
+    source = """\
+int a, c;
+short b;
+long d;
+int main() {
+  a = (short)(d == c | b > 9) / 0;
+  return a;
+}
+"""
+    gcc = GccCompiler()
+    llvm = LlvmCompiler()
+    missed = gcc.compile(source, opt_level="-O0", sanitizer="ubsan").run()
+    detected = llvm.compile(source, opt_level="-O0", sanitizer="ubsan").run()
+    assert missed.exited_normally
+    assert detected.crashed
+    assert is_sanitizer_bug_from_results(detected, missed).is_bug
+
+
+def test_figure12f_msan_subtraction_handling():
+    """Figure 12f: LLVM MSan (defective at -O1+) treats "uninit - 1" as fully
+    defined and misses the uninitialized branch."""
+    source = """\
+int main() {
+  unsigned char a;
+  if (a - 1)
+    __builtin_printf("boom");
+  return 1;
+}
+"""
+    llvm = LlvmCompiler()
+    detected = llvm.compile(source, opt_level="-O0", sanitizer="msan").run()
+    missed = llvm.compile(source, opt_level="-O2", sanitizer="msan").run()
+    assert detected.crashed
+    assert missed.exited_normally
+
+
+# -- full pipeline ----------------------------------------------------------------------
+
+def test_campaign_reproduces_rq1_shape(small_campaign):
+    """RQ1: the campaign finds FN bugs in both compilers and multiple
+    sanitizers, and every confirmed bug maps to a seeded defect."""
+    assert small_campaign.bug_reports
+    compilers = {r.compiler for r in small_campaign.bug_reports}
+    assert "gcc" in compilers or "llvm" in compilers
+    confirmed = [r for r in small_campaign.bug_reports if r.confirmed]
+    assert confirmed
+    assert all(r.defect is not None for r in confirmed)
+
+
+def test_all_ub_types_generated_across_seeds(ub_generator, sample_seeds):
+    produced = set()
+    for seed in sample_seeds:
+        for ub, programs in ub_generator.generate_all(seed).items():
+            if programs:
+                produced.add(ub)
+    assert produced == set(ALL_UB_TYPES)
+
+
+def test_juliet_corpus_finds_no_fn_bugs():
+    """RQ2 (§4.3): the Juliet-style suite exposes no sanitizer FN bug."""
+    from repro.analysis import juliet_programs
+    tester = DifferentialTester(opt_levels=("-O0", "-O2"))
+    for program in juliet_programs(cases_per_type=1):
+        result = tester.test(program)
+        assert not result.fn_candidates, program.description
+
+
+# -- property-based checks ------------------------------------------------------------------
+
+@settings(max_examples=5, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(index=st.integers(min_value=0, max_value=100))
+def test_property_seeds_behave_identically_across_compilers_and_levels(index):
+    """Property: a UB-free seed has one observable behaviour everywhere."""
+    seed = CsmithGenerator(GeneratorConfig(seed=321)).generate(index)
+    reference = None
+    for compiler in (GccCompiler(defect_registry=[]), LlvmCompiler(defect_registry=[])):
+        for level in ("-O0", "-O2"):
+            result = compiler.compile(seed.source, opt_level=level).run()
+            assert result.status == "ok"
+            observed = (result.exit_code, result.stdout)
+            reference = reference or observed
+            assert observed == reference
+
+
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(index=st.integers(min_value=0, max_value=60),
+       ub_index=st.integers(min_value=0, max_value=8))
+def test_property_generated_ub_programs_are_detectable(index, ub_index):
+    """Property: any UB program the generator emits is detected by a
+    defect-free build of one of its target sanitizers at -O0."""
+    ub_type = ALL_UB_TYPES[ub_index]
+    seed = CsmithGenerator(GeneratorConfig(seed=555)).generate(index)
+    programs = UBGenerator(seed=1, max_programs_per_type=1).generate(seed, ub_type)
+    if not programs:
+        return  # this seed offers no live construct for the UB type
+    program = programs[0]
+    detected = False
+    for sanitizer in sanitizers_for(ub_type):
+        compiler = (LlvmCompiler(defect_registry=[]) if sanitizer == "msan"
+                    else GccCompiler(defect_registry=[]))
+        result = compiler.compile(program.source, opt_level="-O0",
+                                  sanitizer=sanitizer).run()
+        if result.crashed and result.report.kind in EXPECTED_REPORT_KINDS[ub_type]:
+            detected = True
+            break
+    assert detected, program.source

@@ -1,0 +1,316 @@
+"""Unit tests for the sanitizer passes, runtimes and defect models."""
+
+import pytest
+
+from repro.cdsl import analyze, ast_nodes as ast, parse_program
+from repro.cdsl.visitor import find_nodes
+from repro.sanitizers import (
+    ASAN_REDZONE,
+    AsanPass,
+    Defect,
+    InstrumentationContext,
+    MsanPass,
+    UbsanPass,
+    available_sanitizers,
+    build_pass,
+    default_defects,
+    defect_by_id,
+    defects_for,
+    report_kinds_of,
+    sanitizers_supported_by,
+)
+from repro.sanitizers import report as rk
+from repro.vm import Interpreter
+
+
+def compile_and_run(source, sanitizer, compiler="gcc", version=14, opt="-O0",
+                    registry=None):
+    unit = parse_program(source)
+    info = analyze(unit)
+    ctx = InstrumentationContext.for_configuration(
+        sanitizer, compiler, version, opt,
+        registry=registry if registry is not None else [])
+    san_pass = build_pass(sanitizer)
+    san_pass.instrument(unit, info, ctx)
+    runtime = san_pass.build_runtime(ctx)
+    return Interpreter(unit, info, runtime=runtime).run()
+
+
+# -- registry ----------------------------------------------------------------------
+
+def test_available_sanitizers():
+    assert set(available_sanitizers()) == {"asan", "ubsan", "msan"}
+
+
+def test_build_pass_types():
+    assert isinstance(build_pass("asan"), AsanPass)
+    assert isinstance(build_pass("ubsan"), UbsanPass)
+    assert isinstance(build_pass("msan"), MsanPass)
+    with pytest.raises(KeyError):
+        build_pass("tsan")
+
+
+def test_gcc_has_no_msan():
+    assert "msan" not in sanitizers_supported_by("gcc")
+    assert "msan" in sanitizers_supported_by("llvm")
+
+
+def test_report_kinds_registry():
+    assert rk.STACK_BUFFER_OVERFLOW in report_kinds_of("asan")
+    assert rk.DIVISION_BY_ZERO in report_kinds_of("ubsan")
+    assert report_kinds_of("msan") == (rk.USE_OF_UNINITIALIZED_VALUE,)
+
+
+# -- ASan ---------------------------------------------------------------------------
+
+def test_asan_detects_global_array_overflow():
+    source = """
+int arr[4];
+int idx = 1;
+int main() { idx = 4; arr[idx] = 7; return 0; }
+"""
+    result = compile_and_run(source, "asan")
+    assert result.crashed
+    assert result.report.kind == rk.GLOBAL_BUFFER_OVERFLOW
+
+
+def test_asan_detects_stack_overflow_through_pointer():
+    source = """
+int main() {
+  int buf[3];
+  int *p = buf;
+  int k = 0;
+  k = 3;
+  *(p + k) = 1;
+  return 0;
+}
+"""
+    result = compile_and_run(source, "asan")
+    assert result.crashed
+    assert result.report.kind == rk.STACK_BUFFER_OVERFLOW
+
+
+def test_asan_misses_overflow_beyond_redzone():
+    # ASan can only detect overflows within its 32-byte red zone (§2.1).
+    source = """
+int arr[4];
+int main() { int k = 0; k = 4 + %d; arr[k] = 1; return 0; }
+""" % (ASAN_REDZONE,)
+    result = compile_and_run(source, "asan")
+    assert result.exited_normally
+
+
+def test_asan_detects_heap_use_after_free():
+    source = """
+int main() {
+  int *p = malloc(8);
+  p[0] = 1;
+  free(p);
+  return p[0];
+}
+"""
+    result = compile_and_run(source, "asan")
+    assert result.crashed
+    assert result.report.kind == rk.HEAP_USE_AFTER_FREE
+
+
+def test_asan_detects_use_after_scope():
+    source = """
+int g;
+int *p = &g;
+int main() {
+  {
+    int inner = 3;
+    p = &inner;
+  }
+  return *p;
+}
+"""
+    result = compile_and_run(source, "asan")
+    assert result.crashed
+    assert result.report.kind == rk.STACK_USE_AFTER_SCOPE
+
+
+def test_asan_clean_program_is_untouched():
+    source = """
+int arr[4] = {1, 2, 3, 4};
+int main() { int s = 0; for (int i = 0; i < 4; i++) { s = s + arr[i]; } return s; }
+"""
+    result = compile_and_run(source, "asan")
+    assert result.exited_normally
+    assert result.exit_code == 10
+
+
+def test_asan_reports_crash_site_location():
+    source = "int arr[2];\nint main() {\n  int k = 0;\n  k = 2;\n  arr[k] = 1;\n  return 0;\n}"
+    result = compile_and_run(source, "asan")
+    assert result.crashed
+    assert result.crash_site[0] == 5
+
+
+def test_asan_instrumentation_wraps_memory_accesses(figure1_source):
+    unit = parse_program(figure1_source)
+    info = analyze(unit)
+    ctx = InstrumentationContext.for_configuration("asan", "gcc", 14, "-O0", registry=[])
+    AsanPass().instrument(unit, info, ctx)
+    checks = find_nodes(unit, ast.SanitizerCheck)
+    assert checks and all(c.kind == "asan_access" for c in checks)
+
+
+def test_asan_does_not_instrument_address_of():
+    unit = parse_program("int a[3]; int main() { int *p = &a[1]; return 0; }")
+    info = analyze(unit)
+    ctx = InstrumentationContext.for_configuration("asan", "gcc", 14, "-O0", registry=[])
+    AsanPass().instrument(unit, info, ctx)
+    checks = find_nodes(unit, ast.SanitizerCheck)
+    assert not checks
+
+
+# -- UBSan ---------------------------------------------------------------------------
+
+def test_ubsan_detects_signed_integer_overflow():
+    result = compile_and_run(
+        "int big = 2147483640; int main() { int x = big + 10; return x != 0; }", "ubsan")
+    assert result.crashed
+    assert result.report.kind == rk.SIGNED_INTEGER_OVERFLOW
+
+
+def test_ubsan_allows_unsigned_wraparound():
+    result = compile_and_run(
+        "unsigned int big = 4294967295u; int main() { unsigned int x = big + 2u; return x; }",
+        "ubsan")
+    assert result.exited_normally
+
+
+def test_ubsan_detects_shift_overflow():
+    result = compile_and_run(
+        "int v = 1; int s = 33; int main() { return v << s; }", "ubsan")
+    assert result.crashed
+    assert result.report.kind == rk.SHIFT_OUT_OF_BOUNDS
+
+
+def test_ubsan_detects_division_by_zero():
+    result = compile_and_run(
+        "int d = 0; int main() { return 10 / d; }", "ubsan")
+    assert result.crashed
+    assert result.report.kind == rk.DIVISION_BY_ZERO
+
+
+def test_ubsan_detects_null_pointer_dereference():
+    result = compile_and_run(
+        "int main() { int *p = (void*)0; return *p; }", "ubsan")
+    assert result.crashed
+    assert result.report.kind == rk.NULL_POINTER_DEREFERENCE
+
+
+def test_ubsan_detects_constant_array_out_of_bounds():
+    result = compile_and_run(
+        "int main() { int a[3]; int i = 0; i = 5; a[i] = 1; return 0; }", "ubsan")
+    assert result.crashed
+    assert result.report.kind == rk.ARRAY_INDEX_OUT_OF_BOUNDS
+
+
+def test_ubsan_clean_arithmetic_passes():
+    result = compile_and_run(
+        "int main() { int a = 100; int b = 3; return a / b + (a << 2) - b * 7; }", "ubsan")
+    assert result.exited_normally
+
+
+# -- MSan -----------------------------------------------------------------------------
+
+def test_msan_detects_branch_on_uninitialized_value():
+    result = compile_and_run(
+        "int main() { int x; if (x) { return 1; } return 0; }",
+        "msan", compiler="llvm")
+    assert result.crashed
+    assert result.report.kind == rk.USE_OF_UNINITIALIZED_VALUE
+
+
+def test_msan_taint_propagates_through_arithmetic():
+    result = compile_and_run(
+        "int main() { int x; int y = x + 3; if (y > 0) { return 1; } return 0; }",
+        "msan", compiler="llvm")
+    assert result.crashed
+
+
+def test_msan_initialized_values_are_clean():
+    result = compile_and_run(
+        "int main() { int x = 4; if (x - 4) { return 1; } return 0; }",
+        "msan", compiler="llvm")
+    assert result.exited_normally
+
+
+def test_msan_heap_memory_uninitialized_until_written():
+    result = compile_and_run(
+        "int main() { int *p = malloc(8); if (p[1]) { return 1; } return 0; }",
+        "msan", compiler="llvm")
+    assert result.crashed
+
+
+# -- defects -----------------------------------------------------------------------------
+
+def test_default_defect_registry_has_both_compilers_and_categories():
+    registry = default_defects()
+    assert len(registry) >= 20
+    compilers = {d.compiler for d in registry}
+    assert compilers == {"gcc", "llvm"}
+    categories = {d.category for d in registry}
+    assert len(categories) >= 6
+
+
+def test_defects_for_filters_by_configuration():
+    active_o0 = defects_for("gcc", 14, "asan", "-O0")
+    active_o2 = defects_for("gcc", 14, "asan", "-O2")
+    assert all(d.active_for("gcc", 14, "asan", "-O2") for d in active_o2)
+    assert len(active_o2) >= len(active_o0)
+
+
+def test_defect_version_ranges():
+    defect = defect_by_id("gcc-asan-global-ptr-store")
+    assert defect is not None
+    assert not defect.active_for("gcc", 5, "asan", "-O2")     # not yet introduced
+    assert defect.active_for("gcc", 10, "asan", "-O2")
+    assert not defect.active_for("gcc", 14, "asan", "-O2")    # fixed in 14
+    assert not defect.active_for("gcc", 10, "asan", "-O0")    # wrong level
+    assert not defect.active_for("llvm", 10, "asan", "-O2")   # wrong compiler
+
+
+def test_defect_suppresses_matching_check(figure1_source):
+    """The Figure 1 FN bug: GCC ASan at -O2 (defective version) misses the
+    overflow that -O0 detects."""
+    detected = compile_and_run(figure1_source, "asan", version=13, opt="-O0",
+                               registry=default_defects())
+    missed = compile_and_run(figure1_source, "asan", version=13, opt="-O2",
+                             registry=default_defects())
+    assert detected.crashed
+    assert missed.exited_normally
+
+
+def test_wrong_line_defect_skews_report_location():
+    source = "int arr[2];\nint main() {\n  int k = 0;\n  k = 2;\n  arr[k] = 1;\n  return 0;\n}"
+    clean = compile_and_run(source, "asan", version=14, opt="-O1", registry=[])
+    skewed = compile_and_run(source, "asan", version=14, opt="-O1",
+                             registry=default_defects())
+    assert clean.crashed and skewed.crashed
+    assert skewed.report.location.line == clean.report.location.line + 1
+
+
+def test_msan_defect_only_affects_higher_levels():
+    source = "int main() { int x; if (x - 1) { return 1; } return 0; }"
+    at_o0 = compile_and_run(source, "msan", compiler="llvm", opt="-O0",
+                            registry=default_defects())
+    at_o2 = compile_and_run(source, "msan", compiler="llvm", opt="-O2",
+                            registry=default_defects())
+    assert at_o0.crashed
+    assert at_o2.exited_normally
+
+
+def test_custom_defect_predicate_api():
+    defect = Defect(
+        defect_id="test-defect", compiler="gcc", sanitizer="asan",
+        category="No Sanitizer Check", ub_kinds=(rk.STACK_BUFFER_OVERFLOW,),
+        opt_levels=("-O2",), introduced_version=8,
+        check_kinds=("asan_access",),
+        check_predicate=lambda expr, detail: True)
+    assert defect.suppresses("asan_access", ast.IntLiteral(1), {})
+    assert not defect.suppresses("ubsan_div", ast.IntLiteral(1), {})

@@ -1,0 +1,172 @@
+"""Unit tests for the flat memory model."""
+
+from repro.cdsl import ctypes_ as ct
+from repro.vm.memory import GUARD_GAP, Memory, MemoryObject
+
+
+def test_allocate_assigns_disjoint_ranges():
+    memory = Memory()
+    a = memory.allocate(16, "global", "a")
+    b = memory.allocate(16, "global", "b")
+    assert a.end <= b.base
+    assert b.base - a.end >= GUARD_GAP - 16  # guard gap plus alignment
+
+
+def test_segments_are_distinct():
+    memory = Memory()
+    g = memory.allocate(8, "global", "g")
+    s = memory.allocate(8, "stack", "s")
+    h = memory.allocate(8, "heap", "h")
+    assert g.base < s.base < h.base
+
+
+def test_object_at_finds_containing_object():
+    memory = Memory()
+    obj = memory.allocate(8, "stack", "x")
+    assert memory.object_at(obj.base) is obj
+    assert memory.object_at(obj.base + 7) is obj
+    assert memory.object_at(obj.end) is not obj
+
+
+def test_object_by_base():
+    memory = Memory()
+    obj = memory.allocate(8, "heap", "h")
+    assert memory.object_by_base(obj.base) is obj
+    assert memory.object_by_base(obj.base + 1) is None
+
+
+def test_nearest_object_within_distance():
+    memory = Memory()
+    obj = memory.allocate(8, "global", "g")
+    assert memory.nearest_object(obj.end + 4, 32) is obj
+    assert memory.nearest_object(obj.end + 1000, 32) is None
+
+
+def test_read_write_roundtrip():
+    memory = Memory()
+    obj = memory.allocate(8, "stack", "x")
+    memory.write_int(obj.base, 4, 0x12345678)
+    value, tainted = memory.read_int(obj.base, 4, signed=False)
+    assert value == 0x12345678
+    assert not tainted
+
+
+def test_signed_read():
+    memory = Memory()
+    obj = memory.allocate(4, "stack", "x")
+    memory.write_int(obj.base, 4, -5 & 0xFFFFFFFF)
+    value, _ = memory.read_int(obj.base, 4, signed=True)
+    assert value == -5
+
+
+def test_uninitialized_read_is_tainted():
+    memory = Memory()
+    obj = memory.allocate(4, "stack", "x")
+    _value, tainted = memory.read_int(obj.base, 4, signed=True)
+    assert tainted
+
+
+def test_zero_init_allocations_are_initialized():
+    memory = Memory()
+    obj = memory.allocate(4, "global", "g", zero_init=True)
+    value, tainted = memory.read_int(obj.base, 4, signed=True)
+    assert value == 0
+    assert not tainted
+
+
+def test_write_marks_initialized():
+    memory = Memory()
+    obj = memory.allocate(8, "stack", "x")
+    memory.write_bytes(obj.base, b"\x01\x02")
+    assert memory.is_initialized(obj.base, 2)
+    assert not memory.is_initialized(obj.base, 8)
+
+
+def test_unmapped_write_goes_to_spill_and_reads_back():
+    memory = Memory()
+    memory.write_int(0xDEAD0000, 4, 42)
+    value, tainted = memory.read_int(0xDEAD0000, 4, signed=False)
+    assert value == 42
+    assert not tainted
+
+
+def test_unmapped_read_is_deterministic_garbage():
+    memory = Memory()
+    first, tainted = memory.read_int(0xBEEF0000, 4, signed=False)
+    second, _ = memory.read_int(0xBEEF0000, 4, signed=False)
+    assert first == second
+    assert tainted
+
+
+def test_poison_and_unpoison():
+    memory = Memory()
+    obj = memory.allocate(8, "stack", "x")
+    memory.poison(obj.base, 8)
+    assert memory.is_poisoned(obj.base)
+    assert memory.is_poisoned(obj.base + 7)
+    memory.unpoison(obj.base, 8)
+    assert not memory.is_poisoned(obj.base, 8)
+
+
+def test_poison_redzones_respects_guard_gap():
+    memory = Memory()
+    obj = memory.allocate(8, "global", "g")
+    memory.poison_redzones(obj, 32)
+    assert memory.is_poisoned(obj.base - 1)
+    assert memory.is_poisoned(obj.end)
+    assert memory.is_poisoned(obj.end + 31)
+    assert not memory.is_poisoned(obj.base, obj.size)
+
+
+def test_free_marks_heap_object():
+    memory = Memory()
+    obj = memory.allocate(16, "heap", "h")
+    freed = memory.free(obj.base)
+    assert freed is obj
+    assert obj.freed
+    assert not obj.is_live
+
+
+def test_double_free_is_silent_noop():
+    memory = Memory()
+    obj = memory.allocate(16, "heap", "h")
+    memory.free(obj.base)
+    assert memory.free(obj.base) is None
+
+
+def test_free_of_non_heap_is_noop():
+    memory = Memory()
+    obj = memory.allocate(16, "stack", "s")
+    assert memory.free(obj.base) is None
+
+
+def test_scope_death_and_revival():
+    memory = Memory()
+    obj = memory.allocate(4, "stack", "t")
+    memory.write_int(obj.base, 4, 7)
+    memory.mark_scope_dead(obj)
+    assert obj.dead
+    memory.revive_for_scope(obj)
+    assert not obj.dead
+    assert not memory.is_initialized(obj.base, 4)
+
+
+def test_alloc_and_free_hooks_are_invoked():
+    events = []
+    memory = Memory()
+    memory.alloc_hooks.append(lambda o: events.append(("alloc", o.name)))
+    memory.free_hooks.append(lambda o: events.append(("free", o.name)))
+    obj = memory.allocate(8, "heap", "h")
+    memory.free(obj.base)
+    assert events == [("alloc", "h"), ("free", "h")]
+
+
+def test_object_metadata_fields():
+    memory = Memory()
+    obj = memory.allocate(12, "stack", "local", ctype=ct.array_of(ct.INT, 3),
+                          scope_id=7, frame_id=2)
+    assert obj.scope_id == 7
+    assert obj.frame_id == 2
+    assert isinstance(obj.ctype, ct.ArrayType)
+    assert obj.contains(obj.base + 11)
+    assert not obj.contains(obj.base + 12)

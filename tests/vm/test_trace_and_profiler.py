@@ -1,0 +1,99 @@
+"""Tests for the debugger/trace API and the profile collector."""
+
+from repro.cdsl import analyze, parse_program
+from repro.cdsl import ast_nodes as ast
+from repro.cdsl.visitor import find_nodes, replace_node
+from repro.vm import Interpreter, ProfileCollector
+from repro.vm.trace import Debugger, crash_site_of, format_trace, get_executed_sites, sites_cover
+
+
+class _FakeBinary:
+    """Minimal object with a run() method for driving the Debugger."""
+
+    def __init__(self, source):
+        self.unit = parse_program(source)
+        self.sema = analyze(self.unit)
+
+    def run(self):
+        return Interpreter(self.unit, self.sema).run()
+
+
+SOURCE = """\
+int main() {
+  int x = 1;
+  x = x + 2;
+  return x;
+}
+"""
+
+
+def test_debugger_steps_through_recorded_sites():
+    debugger = Debugger()
+    debugger.init(_FakeBinary(SOURCE))
+    seen = []
+    while debugger.is_alive():
+        seen.append((debugger.curr_line, debugger.curr_offset))
+        debugger.next_instruction()
+    assert seen
+    assert seen == list(debugger.result.site_trace)
+
+
+def test_get_executed_sites_matches_algorithm2_contract():
+    sites = get_executed_sites(_FakeBinary(SOURCE))
+    lines = {line for line, _ in sites}
+    assert {2, 3, 4} <= lines
+
+
+def test_crash_site_of_normal_run_is_none():
+    result = _FakeBinary(SOURCE).run()
+    assert crash_site_of(result) is None
+
+
+def test_sites_cover():
+    result = _FakeBinary(SOURCE).run()
+    some_site = next(iter(result.executed_sites))
+    assert sites_cover(result, some_site)
+    assert not sites_cover(result, (999, 999))
+
+
+def test_format_trace_renders_tail():
+    text = format_trace([(1, 2), (3, 4)], limit=5)
+    assert "1:2" in text and "3:4" in text
+
+
+def test_profile_collector_records_values_and_buffers():
+    source = """
+int arr[4] = {5, 6, 7, 8};
+int main() {
+  int i = 2;
+  int v = arr[i];
+  return v;
+}
+"""
+    unit = parse_program(source)
+    analyze(unit)
+    index = find_nodes(unit, ast.Identifier, lambda n: n.name == "i")[-1]
+    hook = ast.ProfileHook("idx", index, loc=index.loc)
+    replace_node(unit, index, hook)
+    base = find_nodes(unit, ast.Identifier, lambda n: n.name == "arr")[0]
+    base_hook = ast.ProfileHook("base", base, loc=base.loc)
+    replace_node(unit, base, base_hook)
+    info = analyze(unit)
+    collector = ProfileCollector()
+    result = Interpreter(unit, info, profile_collector=collector).run()
+    assert result.status == "ok"
+    assert collector.first_observation("idx").value == 2
+    buffer = collector.first_observation("base").buffer
+    assert buffer is not None and buffer.size == 16
+    assert collector.was_executed("idx")
+    assert not collector.was_executed("missing-key")
+
+
+def test_profile_collector_alloc_hook_sees_allocations():
+    source = "int main() { int *p = malloc(12); free(p); return 0; }"
+    unit = parse_program(source)
+    info = analyze(unit)
+    collector = ProfileCollector()
+    Interpreter(unit, info, profile_collector=collector).run()
+    assert any(buf.kind == "heap" and buf.size == 12 for buf in collector.allocations)
+    assert len(collector.freed_addresses) == 1

@@ -1,0 +1,47 @@
+"""Unit tests for runtime values and taint propagation helpers."""
+
+from repro.cdsl import ctypes_ as ct
+from repro.vm.values import RuntimeValue, coerce, combine_taint, make_value
+
+
+def test_make_value_defaults_untainted():
+    value = make_value(5)
+    assert value.value == 5
+    assert not value.tainted
+
+
+def test_int_conversion_and_truthiness():
+    assert int(make_value(7)) == 7
+    assert make_value(1).is_true
+    assert not make_value(0).is_true
+
+
+def test_coerce_wraps_to_type():
+    value = coerce(make_value(300), ct.UCHAR)
+    assert value.value == 300 % 256
+
+
+def test_coerce_signed_wrap():
+    value = coerce(make_value(2 ** 31), ct.INT)
+    assert value.value == -(2 ** 31)
+
+
+def test_coerce_preserves_taint():
+    value = coerce(RuntimeValue(5, True), ct.INT)
+    assert value.tainted
+
+
+def test_coerce_pointer_masks_to_64_bits():
+    value = coerce(make_value(2 ** 70 + 3), ct.pointer_to(ct.INT))
+    assert value.value == 3
+
+
+def test_combine_taint():
+    assert combine_taint(make_value(1), RuntimeValue(2, True))
+    assert not combine_taint(make_value(1), make_value(2))
+
+
+def test_with_value_keeps_taint():
+    tainted = RuntimeValue(1, True).with_value(9)
+    assert tainted.value == 9
+    assert tainted.tainted
