@@ -1,0 +1,54 @@
+"""Orchestrator throughput — programs-tested/sec, serial vs. worker pool.
+
+The paper's campaign sustained two 64-core servers for five months; the
+orchestrator reproduces that execution model at reduced scale.  This bench
+runs the same small campaign twice — serial in-process and sharded across
+two worker processes — and reports the measured throughput of each.  The
+pooled run must test the same programs and surface the same FN candidates
+as the serial one (determinism is the orchestrator's core invariant); the
+speedup itself is reported but not asserted, since CI machines vary.
+"""
+
+import os
+import time
+
+from bench_common import bench_print, run_once
+
+from repro.core import CampaignConfig, FuzzingCampaign
+from repro.orchestrator import OrchestratedCampaign
+
+#: Small fixed scale: triage off so the measurement isolates the
+#: generate → mutate → differential-test pipeline the pool parallelizes.
+THROUGHPUT_SCALE = dict(num_seeds=4, rng_seed=2024, max_programs_per_type=1,
+                        opt_levels=("-O0", "-O2", "-O3"), triage=False)
+
+WORKERS = 2
+
+
+def test_orchestrator_throughput(benchmark):
+    config = CampaignConfig(**THROUGHPUT_SCALE)
+
+    start = time.perf_counter()
+    serial = FuzzingCampaign(config).run()
+    serial_seconds = time.perf_counter() - start
+
+    pooled = run_once(benchmark,
+                      OrchestratedCampaign(config, workers=WORKERS).run)
+    pooled_seconds = pooled.stats.duration_seconds
+
+    serial_rate = serial.stats.programs_tested / serial_seconds
+    pooled_rate = pooled.stats.programs_tested / pooled_seconds
+    bench_print()
+    bench_print("=== Orchestrator throughput (programs tested / second) ===")
+    bench_print(f"serial          : {serial.stats.programs_tested} programs "
+                f"in {serial_seconds:6.2f}s = {serial_rate:6.2f}/s")
+    bench_print(f"pool ({WORKERS} workers): {pooled.stats.programs_tested} programs "
+                f"in {pooled_seconds:6.2f}s = {pooled_rate:6.2f}/s")
+    bench_print(f"speedup         : {pooled_rate / serial_rate:4.2f}x "
+                f"(on {os.cpu_count()} CPU core(s); ~1x is expected on 1)")
+
+    assert serial.stats.programs_tested > 0
+    assert pooled.stats.programs_tested == serial.stats.programs_tested
+    assert pooled.stats.fn_candidates == serial.stats.fn_candidates
+    assert pooled.stats.programs_generated == serial.stats.programs_generated
+    assert serial_rate > 0 and pooled_rate > 0

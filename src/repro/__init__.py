@@ -15,7 +15,9 @@ This package reproduces, in pure Python, the system described in
                             UB generation, crash-site mapping, differential
                             testing, the fuzzing campaign, triage and reduction;
 * :mod:`repro.coverage`   — coverage measurement (Table 5);
-* :mod:`repro.analysis`   — experiment drivers and table/figure renderers.
+* :mod:`repro.analysis`   — experiment drivers and table/figure renderers;
+* :mod:`repro.orchestrator` — sharded worker-pool campaign execution with
+                            corpus storage, crash dedup and checkpoint/resume.
 """
 
 from repro.cdsl import analyze, parse_program, print_program
@@ -44,6 +46,12 @@ from repro.core import (
     is_sanitizer_bug,
     is_sanitizer_bug_from_results,
 )
+from repro.orchestrator import (
+    CorpusStore,
+    OrchestratedCampaign,
+    PoolExecutor,
+    SerialExecutor,
+)
 from repro.seedgen import (
     CsmithGenerator,
     CsmithNoSafeGenerator,
@@ -64,6 +72,7 @@ __all__ = [
     "CampaignResult", "DifferentialTester", "FuzzingCampaign",
     "ProgramReducer", "TestConfig", "UBGenerator", "UBProgram", "UBType",
     "classify_discrepancy", "is_sanitizer_bug", "is_sanitizer_bug_from_results",
+    "CorpusStore", "OrchestratedCampaign", "PoolExecutor", "SerialExecutor",
     "CsmithGenerator", "CsmithNoSafeGenerator", "GeneratorConfig",
     "MusicMutator", "SeedProgram", "generate_juliet_suite",
     "ExecutionResult", "SanitizerReport",

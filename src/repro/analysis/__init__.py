@@ -3,9 +3,11 @@
 from repro.analysis.bugtracker import TrackerHistory, figure9_rows, tracker_history
 from repro.analysis.campaign import (
     BaselineBugHunt,
+    CampaignCache,
     GeneratorComparison,
     OracleAccuracy,
     classify_ub,
+    clear_campaign_cache,
     evaluate_oracle_accuracy,
     juliet_programs,
     measure_corpus_coverage,
@@ -32,8 +34,9 @@ from repro.analysis.tables import (
 
 __all__ = [
     "TrackerHistory", "figure9_rows", "tracker_history",
-    "BaselineBugHunt", "GeneratorComparison", "OracleAccuracy",
-    "classify_ub", "evaluate_oracle_accuracy", "juliet_programs",
+    "BaselineBugHunt", "CampaignCache", "GeneratorComparison", "OracleAccuracy",
+    "classify_ub", "clear_campaign_cache",
+    "evaluate_oracle_accuracy", "juliet_programs",
     "measure_corpus_coverage", "run_baseline_bug_hunt",
     "run_bug_finding_campaign", "run_generator_comparison",
     "ascii_bar_chart", "figure7_bugs_per_ub", "figure9_summary",

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.compilers.compiler import make_compiler
 from repro.compilers.options import CompileOptions
 from repro.core.crash_site import is_sanitizer_bug_from_results
-from repro.core.fuzzer import CampaignConfig, CampaignResult, FuzzingCampaign
+from repro.core.fuzzer import CampaignConfig, CampaignResult
 from repro.core.insertion import UBProgram
 from repro.core.ub_types import ALL_UB_TYPES, UBType, ub_type_of_report
 from repro.core.ubgen import UBGenerator
@@ -34,24 +34,68 @@ from repro.utils.errors import CompilationError, GenerationError, ReproError
 # RQ1: bug finding (Table 3, Table 6, Figures 7/10/11)
 # ---------------------------------------------------------------------------
 
-_CAMPAIGN_CACHE: Dict[tuple, CampaignResult] = {}
+class CampaignCache:
+    """An explicit, clearable cache of campaign results.
+
+    Keys are :func:`repro.orchestrator.config_fingerprint` digests, which
+    cover *every* campaign knob — two configs differing in any field (e.g.
+    ``triage`` or ``compilers``, which the old ad-hoc tuple key ignored)
+    can never collide.  Worker count is deliberately not part of the key:
+    parallel and serial runs of the same config produce identical results.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, CampaignResult] = {}
+
+    def get(self, fingerprint: str) -> Optional[CampaignResult]:
+        return self._entries.get(fingerprint)
+
+    def put(self, fingerprint: str, result: CampaignResult) -> None:
+        self._entries[fingerprint] = result
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_CAMPAIGN_CACHE = CampaignCache()
+
+
+def clear_campaign_cache() -> None:
+    """Drop every cached campaign result (frees the corpus-sized memory)."""
+    _CAMPAIGN_CACHE.clear()
 
 
 def run_bug_finding_campaign(num_seeds: int = 6, rng_seed: int = 2024,
                              opt_levels: Tuple[str, ...] = ("-O0", "-O1", "-Os",
                                                             "-O2", "-O3"),
                              max_programs_per_type: int = 2,
-                             use_cache: bool = True) -> CampaignResult:
-    """Run (or reuse) the scaled RQ1 campaign."""
-    key = (num_seeds, rng_seed, opt_levels, max_programs_per_type)
-    if use_cache and key in _CAMPAIGN_CACHE:
-        return _CAMPAIGN_CACHE[key]
+                             use_cache: bool = True,
+                             workers: int = 1,
+                             **config_overrides) -> CampaignResult:
+    """Run (or reuse) the scaled RQ1 campaign through the orchestrator.
+
+    ``workers`` shards the campaign over that many processes; extra
+    :class:`~repro.core.fuzzer.CampaignConfig` fields (``compilers``,
+    ``triage``, ...) can be passed as keyword overrides.  Results are cached
+    per full-config fingerprint, so neither ``workers`` nor the knob subset
+    used to build the key can make distinct configs collide.
+    """
+    from repro.orchestrator import OrchestratedCampaign, config_fingerprint
     config = CampaignConfig(num_seeds=num_seeds, rng_seed=rng_seed,
                             opt_levels=opt_levels,
-                            max_programs_per_type=max_programs_per_type)
-    result = FuzzingCampaign(config).run()
+                            max_programs_per_type=max_programs_per_type,
+                            **config_overrides)
+    fingerprint = config_fingerprint(config)
     if use_cache:
-        _CAMPAIGN_CACHE[key] = result
+        cached = _CAMPAIGN_CACHE.get(fingerprint)
+        if cached is not None:
+            return cached
+    result = OrchestratedCampaign(config, workers=workers).run()
+    if use_cache:
+        _CAMPAIGN_CACHE.put(fingerprint, result)
     return result
 
 

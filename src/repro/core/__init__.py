@@ -24,7 +24,8 @@ from repro.core.differential import (
     WrongReportCandidate,
     default_configs,
 )
-from repro.core.fuzzer import CampaignConfig, CampaignResult, CampaignStats, FuzzingCampaign
+from repro.core.fuzzer import (CampaignConfig, CampaignResult, CampaignStats,
+                               FuzzingCampaign, SeedBatch)
 from repro.core.insertion import UBProgram, apply_mutation
 from repro.core.matching import MatchedExpr, get_matched_exprs
 from repro.core.profile import ExecutionProfile, Profiler
@@ -50,6 +51,7 @@ __all__ = [
     "ConfigOutcome", "DifferentialResult", "DifferentialTester",
     "FNBugCandidate", "TestConfig", "WrongReportCandidate", "default_configs",
     "CampaignConfig", "CampaignResult", "CampaignStats", "FuzzingCampaign",
+    "SeedBatch",
     "UBProgram", "apply_mutation",
     "MatchedExpr", "get_matched_exprs",
     "ExecutionProfile", "Profiler",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.compilers.compiler import make_compiler
 from repro.compilers.options import ALL_OPT_LEVELS
@@ -35,7 +35,7 @@ from repro.core.ub_types import ALL_UB_TYPES, UBType
 from repro.core.ubgen import UBGenerator
 from repro.sanitizers.defects import Defect, default_defects
 from repro.seedgen.config import GeneratorConfig
-from repro.seedgen.csmith import CsmithGenerator, SeedProgram
+from repro.seedgen.csmith import CsmithGenerator
 from repro.utils.errors import GenerationError
 
 
@@ -104,6 +104,27 @@ class CampaignResult:
         return grouped
 
 
+@dataclass
+class SeedBatch:
+    """Everything one seed work-item produced.
+
+    A batch is the unit of parallel execution: generating the seed, mutating
+    it into UB programs and differentially testing those programs depend only
+    on ``(config, seed_index)``, so batches can be computed in any process in
+    any order and merged back deterministically by seed index.
+    """
+
+    seed_index: int
+    generated: bool
+    programs_generated: Dict[UBType, int] = field(default_factory=dict)
+    diff_results: List[DifferentialResult] = field(default_factory=list)
+    duration_seconds: float = 0.0
+
+    @property
+    def programs_tested(self) -> int:
+        return len(self.diff_results)
+
+
 class FuzzingCampaign:
     """Drives seeds → UB programs → differential testing → bug reports."""
 
@@ -128,23 +149,105 @@ class FuzzingCampaign:
 
     # -- public ---------------------------------------------------------------------
 
-    def run(self) -> CampaignResult:
+    def run(self, executor=None) -> CampaignResult:
+        """Run the whole campaign, optionally through a pluggable executor.
+
+        Without an executor, seeds are processed lazily in-process (the
+        original serial behaviour).  An executor — e.g.
+        :class:`repro.orchestrator.SerialExecutor` or
+        :class:`repro.orchestrator.PoolExecutor` — receives the config plus
+        the seed indices and yields :class:`SeedBatch` objects in seed order;
+        because every batch depends only on ``(config, seed_index)``, the
+        merged result is identical no matter which executor ran it.
+        """
+        seed_indices = range(self.config.num_seeds)
+        if executor is None:
+            batches: Iterable[SeedBatch] = self._serial_batches(seed_indices)
+        else:
+            batches = executor.map_seeds(self.config, seed_indices)
+        return self.collect(batches)
+
+    def _serial_batches(self, seed_indices) -> Iterator[SeedBatch]:
+        """In-process batches with the global test budget threaded through.
+
+        Unlike pool workers, the serial path can see ``max_programs_total``,
+        so — as before the refactor — it never differentially tests programs
+        past the cap."""
+        remaining = self.config.max_programs_total
+        for index in seed_indices:
+            batch = self.run_seed(index, test_budget=remaining)
+            yield batch
+            if remaining is not None:
+                remaining -= batch.programs_tested
+                if remaining <= 0:
+                    return
+
+    def run_seed(self, seed_index: int,
+                 test_budget: Optional[int] = None) -> SeedBatch:
+        """Process one seed work-item: generate, mutate and test.
+
+        ``test_budget`` caps how many of the generated programs are
+        differentially tested (generation counts always cover the whole
+        seed); pool workers leave it unset since they cannot see the global
+        budget — :meth:`collect` truncates their excess instead.
+        """
+        start = time.time()
+        try:
+            seed = self.seed_generator.generate(seed_index)
+        except GenerationError:
+            return SeedBatch(seed_index=seed_index, generated=False,
+                             duration_seconds=time.time() - start)
+        by_type = self.ub_generator.generate_all(seed, self.config.ub_types)
+        counts: Dict[UBType, int] = {}
+        programs: List[UBProgram] = []
+        for ub_type, generated in by_type.items():
+            counts[ub_type] = len(generated)
+            programs.extend(generated)
+        if test_budget is not None:
+            programs = programs[:test_budget]
+        diff_results = [self.tester.test(program) for program in programs]
+        return SeedBatch(seed_index=seed_index, generated=True,
+                         programs_generated=counts, diff_results=diff_results,
+                         duration_seconds=time.time() - start)
+
+    def collect(self, batches: Iterable[SeedBatch]) -> CampaignResult:
+        """Merge per-seed batches (in seed order) into the campaign result.
+
+        Consumption stops as soon as ``max_programs_total`` is reached, so a
+        lazy serial iterator never generates seeds past the cap, and the
+        result (stats, candidates, reports) is identical to the pre-refactor
+        loop.  A batch is always a *whole* seed, though — workers cannot see
+        the global budget — so excess programs of the final consumed seed
+        (and of any seeds a pool prefetched) are tested and then discarded.
+        """
         start = time.time()
         stats = CampaignStats(programs_generated={ub: 0 for ub in self.config.ub_types})
         fn_candidates: List[FNBugCandidate] = []
         wrong_reports: List[WrongReportCandidate] = []
         diff_results: List[DifferentialResult] = []
+        remaining = self.config.max_programs_total
 
-        programs = self.generate_programs(stats)
-        for program in programs:
-            result = self.tester.test(program)
-            diff_results.append(result)
-            stats.programs_tested += 1
-            if result.has_discrepancy:
-                stats.discrepant_programs += 1
-            stats.optimization_discrepancies += result.optimization_discrepancies
-            fn_candidates.extend(result.fn_candidates)
-            wrong_reports.extend(result.wrong_report_candidates)
+        for batch in batches:
+            if not batch.generated:
+                continue
+            stats.seeds_used += 1
+            for ub_type, count in batch.programs_generated.items():
+                stats.programs_generated[ub_type] = (
+                    stats.programs_generated.get(ub_type, 0) + count)
+            kept = (batch.diff_results if remaining is None
+                    else batch.diff_results[:remaining])
+            for result in kept:
+                diff_results.append(result)
+                stats.programs_tested += 1
+                if result.has_discrepancy:
+                    stats.discrepant_programs += 1
+                stats.optimization_discrepancies += result.optimization_discrepancies
+                fn_candidates.extend(result.fn_candidates)
+                wrong_reports.extend(result.wrong_report_candidates)
+            if remaining is not None:
+                remaining -= len(kept)
+                if remaining <= 0:
+                    break
 
         stats.fn_candidates = len(fn_candidates)
         stats.wrong_report_candidates = len(wrong_reports)
@@ -157,33 +260,7 @@ class FuzzingCampaign:
                               wrong_report_candidates=wrong_reports,
                               differential_results=diff_results)
 
-    # -- steps ----------------------------------------------------------------------
-
-    def generate_seeds(self) -> List[SeedProgram]:
-        seeds: List[SeedProgram] = []
-        for index in range(self.config.num_seeds):
-            try:
-                seeds.append(self.seed_generator.generate(index))
-            except GenerationError:
-                continue
-        return seeds
-
-    def generate_programs(self, stats: Optional[CampaignStats] = None) -> List[UBProgram]:
-        stats = stats or CampaignStats(
-            programs_generated={ub: 0 for ub in self.config.ub_types})
-        programs: List[UBProgram] = []
-        for seed in self.generate_seeds():
-            stats.seeds_used += 1
-            by_type = self.ub_generator.generate_all(seed, self.config.ub_types)
-            for ub_type, generated in by_type.items():
-                stats.programs_generated[ub_type] = (
-                    stats.programs_generated.get(ub_type, 0) + len(generated))
-                programs.extend(generated)
-            if (self.config.max_programs_total is not None
-                    and len(programs) >= self.config.max_programs_total):
-                programs = programs[: self.config.max_programs_total]
-                break
-        return programs
+    # -- reporting -------------------------------------------------------------------
 
     def _build_reports(self, fn_candidates: List[FNBugCandidate],
                        wrong_reports: List[WrongReportCandidate]) -> List[BugReport]:

@@ -29,7 +29,7 @@ from repro.core.synthesis import synthesize
 from repro.core.ub_types import ALL_UB_TYPES, UBType
 from repro.seedgen.csmith import SeedProgram
 from repro.utils.errors import GenerationError, ProfilingError
-from repro.utils.rng import RandomSource
+from repro.utils.rng import RandomSource, derive_seed
 
 SeedLike = Union[str, SeedProgram, ast.TranslationUnit]
 
@@ -81,7 +81,7 @@ class UBGenerator:
                         ) -> tuple[Dict[UBType, List[UBProgram]], GenerationStats]:
         unit, resolved_index = self._resolve_seed(seed_program, seed_index)
         stats = GenerationStats()
-        rng = RandomSource(self.seed).fork(resolved_index)
+        rng = RandomSource(derive_seed(self.seed, resolved_index))
 
         matches_by_type: Dict[UBType, List[MatchedExpr]] = {}
         all_matches: List[MatchedExpr] = []

@@ -1,0 +1,117 @@
+"""The campaign orchestrator: sharded execution with checkpoint/resume.
+
+:class:`OrchestratedCampaign` wraps a :class:`~repro.core.fuzzer.FuzzingCampaign`
+with the production machinery the serial loop lacks:
+
+* **sharded execution** — seed work-items run on a pluggable executor
+  (serial or a ``multiprocessing`` pool); per-seed RNG derivation makes the
+  merged result bit-identical to a serial run;
+* **checkpoint/resume** — completed seeds are snapshotted to JSON after every
+  batch, so a killed campaign resumes from where it stopped and finishes with
+  the same deduplicated bug reports as an uninterrupted one;
+* **corpus store + crash dedup** — every tested program and every FN-bug
+  candidate is recorded, bucketed by (UB type, crash site, sanitizer);
+* **live stats** — throughput and ETA stream through a
+  :class:`~repro.orchestrator.stats.ThroughputMonitor`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Union
+
+from repro.core.fuzzer import (
+    CampaignConfig,
+    CampaignResult,
+    FuzzingCampaign,
+    SeedBatch,
+)
+from repro.orchestrator.checkpoint import CampaignCheckpoint
+from repro.orchestrator.corpus import CorpusStore
+from repro.orchestrator.executor import Executor, make_executor
+from repro.orchestrator.stats import ThroughputMonitor
+
+
+class OrchestratedCampaign:
+    """Runs a fuzzing campaign through the orchestration engine.
+
+    ``workers=1`` (the default) runs serially in-process; ``workers=N``
+    shards seeds across N worker processes.  Either way the deduplicated
+    bug reports are identical for the same config and ``rng_seed``.
+    """
+
+    def __init__(self, config: Optional[CampaignConfig] = None,
+                 workers: int = 1,
+                 executor: Optional[Executor] = None,
+                 checkpoint_path: Optional[str] = None,
+                 checkpoint_interval: int = 1,
+                 corpus: Union[CorpusStore, str, None] = None,
+                 progress: Optional[Callable[[str], None]] = None,
+                 max_seeds_per_session: Optional[int] = None) -> None:
+        self.config = config or CampaignConfig()
+        self.executor = executor if executor is not None else make_executor(workers)
+        self.checkpoint = (CampaignCheckpoint(checkpoint_path, self.config,
+                                              flush_interval=checkpoint_interval)
+                           if checkpoint_path is not None else None)
+        if isinstance(corpus, (str, bytes)):
+            corpus = CorpusStore(root=corpus)
+        self.corpus = corpus
+        self.progress = progress
+        self.max_seeds_per_session = max_seeds_per_session
+        #: Populated by run(); exposes live throughput/ETA while running.
+        self.monitor: Optional[ThroughputMonitor] = None
+        #: Seed indices restored from the checkpoint on the last run().
+        self.resumed_indices: list[int] = []
+
+    # -- public ----------------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Execute (or resume) the campaign and return the merged result."""
+        campaign = FuzzingCampaign(self.config)
+        completed: Dict[int, SeedBatch] = (self.checkpoint.load()
+                                           if self.checkpoint is not None else {})
+        self.resumed_indices = sorted(completed)
+        pending = [index for index in range(self.config.num_seeds)
+                   if index not in completed]
+        if self.max_seeds_per_session is not None:
+            pending = pending[:self.max_seeds_per_session]
+        self.monitor = ThroughputMonitor(self.config.num_seeds, emit=self.progress)
+        self.monitor.start()
+        return campaign.collect(self._merged_batches(completed, pending))
+
+    # -- internals --------------------------------------------------------------
+
+    def _merged_batches(self, completed: Dict[int, SeedBatch],
+                        pending: list[int]) -> Iterator[SeedBatch]:
+        """Yield batches in seed order, merging checkpointed and fresh ones."""
+        fresh = iter(self.executor.map_seeds(self.config, pending))
+        try:
+            for index in range(self.config.num_seeds):
+                if index in completed:
+                    batch = completed[index]
+                    # Restored work advances the campaign position but not
+                    # the throughput/ETA figures — no work happened.
+                    self.monitor.note_restored(batch)
+                else:
+                    try:
+                        batch = next(fresh)
+                    except StopIteration:
+                        # Session cap reached: hand back a partial campaign;
+                        # the checkpoint already holds everything computed.
+                        return
+                    if batch.seed_index != index:  # pragma: no cover - invariant
+                        raise RuntimeError(
+                            f"executor yielded seed {batch.seed_index}, "
+                            f"expected {index}")
+                    if self.checkpoint is not None:
+                        self.checkpoint.record(batch)
+                    self.monitor.observe(batch)
+                if self.corpus is not None:
+                    self.corpus.ingest(batch)
+                yield batch
+        finally:
+            if hasattr(fresh, "close"):
+                fresh.close()
+            if self.checkpoint is not None:
+                self.checkpoint.flush()
+            if self.corpus is not None:
+                self.corpus.flush()

@@ -1,0 +1,111 @@
+"""Checkpoint/resume of interrupted campaigns via JSON snapshots.
+
+The snapshot is a single JSON document holding the campaign config
+fingerprint plus one record per completed seed (see
+:mod:`repro.orchestrator.records`).  It is rewritten atomically
+(temp file + ``os.replace``) after every recorded batch, so a campaign
+killed at any point can resume from the last completed seed.
+
+A checkpoint written for one configuration refuses to resume another: the
+fingerprint covers every knob that influences results, so a silent partial
+reuse can never produce a mixed bug set.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from repro.core.fuzzer import CampaignConfig, SeedBatch
+from repro.orchestrator.records import (
+    RECORD_VERSION,
+    batch_from_record,
+    batch_to_record,
+    config_fingerprint,
+)
+from repro.utils.io import atomic_write_json
+
+
+class CheckpointMismatch(Exception):
+    """The snapshot on disk belongs to a different campaign configuration."""
+
+
+class CampaignCheckpoint:
+    """Persists completed seed batches for one campaign configuration.
+
+    ``flush_interval`` trades durability for I/O: the snapshot (which grows
+    with every completed seed, program sources included) is rewritten every
+    N recorded batches instead of every one.  A crash between flushes only
+    loses the unflushed seeds' *work* — they are simply recomputed on
+    resume — never correctness.
+    """
+
+    def __init__(self, path: str, config: CampaignConfig,
+                 flush_interval: int = 1) -> None:
+        if flush_interval < 1:
+            raise ValueError("flush_interval must be >= 1")
+        self.path = str(path)
+        self.fingerprint = config_fingerprint(config)
+        self.flush_interval = flush_interval
+        self._records: Dict[int, dict] = {}
+        self._loaded = False
+        self._unflushed = 0
+
+    # -- reading ---------------------------------------------------------------
+
+    def load(self) -> Dict[int, SeedBatch]:
+        """Return the completed batches recorded on disk, keyed by seed index.
+
+        Missing file → empty dict (a fresh campaign).  A snapshot written by
+        a different configuration raises :class:`CheckpointMismatch`.
+        """
+        self._records = {}
+        self._loaded = True
+        if not os.path.exists(self.path):
+            return {}
+        with open(self.path, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        if snapshot.get("version") != RECORD_VERSION:
+            raise CheckpointMismatch(
+                f"unsupported checkpoint version {snapshot.get('version')!r}")
+        if snapshot.get("fingerprint") != self.fingerprint:
+            raise CheckpointMismatch(
+                f"checkpoint {self.path} was written for config "
+                f"{snapshot.get('fingerprint')!r}, not {self.fingerprint!r}")
+        self._records = {int(key): value
+                         for key, value in snapshot.get("seeds", {}).items()}
+        return {index: batch_from_record(record)
+                for index, record in self._records.items()}
+
+    @property
+    def completed_indices(self) -> list[int]:
+        return sorted(self._records)
+
+    # -- writing ---------------------------------------------------------------
+
+    def record(self, batch: SeedBatch) -> None:
+        """Add one completed batch; rewrites the snapshot atomically every
+        ``flush_interval`` batches (call :meth:`flush` to force a write)."""
+        if not self._loaded:
+            self.load()
+        self._records[batch.seed_index] = batch_to_record(batch)
+        self._unflushed += 1
+        if self._unflushed >= self.flush_interval:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the snapshot now, if there is anything unflushed."""
+        if self._unflushed == 0:
+            return
+        self._write_snapshot()
+        self._unflushed = 0
+
+    def _write_snapshot(self) -> None:
+        snapshot = {
+            "version": RECORD_VERSION,
+            "fingerprint": self.fingerprint,
+            "seeds": {str(index): record
+                      for index, record in sorted(self._records.items())},
+        }
+        atomic_write_json(self.path, snapshot)

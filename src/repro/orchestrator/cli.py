@@ -1,0 +1,203 @@
+"""Command-line launcher for orchestrated campaigns.
+
+Usage::
+
+    python -m repro.orchestrator --seeds 20 --workers 4 \
+        --checkpoint campaign.json --corpus corpus/
+
+Interrupt it at any point; re-running the same command resumes from the
+checkpoint and finishes with the same bug set as an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.fuzzer import CampaignConfig
+from repro.core.ub_types import ALL_UB_TYPES, UBType
+from repro.orchestrator.campaign import OrchestratedCampaign
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.orchestrator",
+        description="Run a sharded sanitizer-fuzzing campaign with "
+                    "checkpoint/resume, corpus storage and crash dedup.")
+    parser.add_argument("--seeds", type=int, default=10,
+                        help="number of seed programs (default: 10)")
+    parser.add_argument("--rng-seed", type=int, default=0,
+                        help="master RNG seed; the full campaign is a pure "
+                             "function of this (default: 0)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes; 1 = serial (default: 1)")
+    parser.add_argument("--opt-levels", default="-O0,-O1,-Os,-O2,-O3",
+                        help="comma-separated optimization levels")
+    parser.add_argument("--compilers", default="gcc,llvm",
+                        help="comma-separated compilers (gcc, llvm)")
+    parser.add_argument("--ub-types", default="",
+                        help="comma-separated UB types (default: all)")
+    parser.add_argument("--max-programs-per-type", type=int, default=2,
+                        help="cap on UB programs per (seed, UB type)")
+    parser.add_argument("--max-programs-total", type=int, default=None,
+                        help="stop after this many UB programs overall")
+    parser.add_argument("--no-triage", action="store_true",
+                        help="skip defect triage (candidates only, faster)")
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="JSON snapshot to write/resume from")
+    parser.add_argument("--checkpoint-interval", type=int, default=1,
+                        help="rewrite the snapshot every N completed seeds "
+                             "(default: 1; larger = less I/O, a crash "
+                             "recomputes up to N-1 seeds)")
+    parser.add_argument("--corpus", default=None, metavar="DIR",
+                        help="directory for the persistent corpus store")
+    parser.add_argument("--max-seeds-per-session", type=int, default=None,
+                        help="process at most N new seeds, then stop "
+                             "(resume later from the checkpoint)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-seed progress lines")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print a machine-readable JSON summary")
+    return parser
+
+
+class CLIError(Exception):
+    """A user-input problem reported as a clean one-line error."""
+
+
+def _parse_ub_types(spec: str) -> Sequence[UBType]:
+    if not spec.strip():
+        return ALL_UB_TYPES
+    types = []
+    for value in spec.split(","):
+        try:
+            types.append(UBType(value.strip()))
+        except ValueError:
+            known = ", ".join(ub.value for ub in ALL_UB_TYPES)
+            raise CLIError(f"unknown UB type {value.strip()!r} "
+                           f"(choose from: {known})") from None
+    return tuple(types)
+
+
+def _check_compilers(names: Sequence[str]) -> None:
+    from repro.compilers.compiler import make_compiler
+    for name in names:
+        try:
+            make_compiler(name)
+        except KeyError:
+            raise CLIError(f"unknown compiler {name!r} "
+                           f"(choose from: gcc, llvm)") from None
+
+
+def _check_opt_levels(levels: Sequence[str]) -> None:
+    from repro.compilers.options import ALL_OPT_LEVELS
+    for level in levels:
+        if level not in ALL_OPT_LEVELS:
+            raise CLIError(f"unknown optimization level {level!r} "
+                           f"(choose from: {', '.join(ALL_OPT_LEVELS)})")
+
+
+def config_from_args(args: argparse.Namespace) -> CampaignConfig:
+    return CampaignConfig(
+        num_seeds=args.seeds,
+        rng_seed=args.rng_seed,
+        ub_types=_parse_ub_types(args.ub_types),
+        opt_levels=tuple(level.strip() for level in args.opt_levels.split(",")
+                         if level.strip()),
+        compilers=tuple(name.strip() for name in args.compilers.split(",")
+                        if name.strip()),
+        max_programs_per_type=args.max_programs_per_type,
+        max_programs_total=args.max_programs_total,
+        triage=not args.no_triage)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _run(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
+    from repro.orchestrator.checkpoint import CheckpointMismatch
+    config = config_from_args(args)
+    _check_compilers(config.compilers)
+    _check_opt_levels(config.opt_levels)
+    progress = None if args.quiet else (lambda line: print(line, file=sys.stderr))
+    orchestrated = OrchestratedCampaign(
+        config,
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        checkpoint_interval=args.checkpoint_interval,
+        corpus=args.corpus,
+        progress=progress,
+        max_seeds_per_session=args.max_seeds_per_session)
+    try:
+        result = orchestrated.run()
+    except CheckpointMismatch as exc:
+        raise CLIError(f"{exc} — pass a fresh --checkpoint path to start "
+                       f"over") from None
+    except json.JSONDecodeError as exc:
+        raise CLIError(f"checkpoint {args.checkpoint} is not valid JSON "
+                       f"({exc}) — delete it or pass a fresh path") from None
+
+    stats = result.stats
+    summary = {
+        "seeds_used": stats.seeds_used,
+        "seeds_resumed": len(orchestrated.resumed_indices),
+        "programs_generated": stats.total_programs(),
+        "programs_tested": stats.programs_tested,
+        "discrepant_programs": stats.discrepant_programs,
+        "fn_candidates": stats.fn_candidates,
+        "wrong_report_candidates": stats.wrong_report_candidates,
+        "duration_seconds": round(stats.duration_seconds, 3),
+        "workers": orchestrated.executor.workers,
+        "bug_reports": [
+            {"bug_id": report.bug_id, "compiler": report.compiler,
+             "sanitizer": report.sanitizer, "ub_type": report.ub_type.value,
+             "status": report.status, "category": report.category,
+             "affected_opt_levels": report.affected_opt_levels,
+             "affected_versions": report.affected_versions}
+            for report in result.bug_reports
+        ],
+    }
+    if orchestrated.corpus is not None:
+        corpus_summary = orchestrated.corpus.summary()
+        summary["corpus"] = {"programs": corpus_summary["programs"],
+                             "crashes": corpus_summary["crashes"],
+                             "unique_crashes": corpus_summary["unique_crashes"]}
+
+    if args.as_json:
+        print(json.dumps(summary, indent=2))
+        return 0
+
+    print(f"seeds used            : {summary['seeds_used']}"
+          + (f" ({summary['seeds_resumed']} resumed from checkpoint)"
+             if summary["seeds_resumed"] else ""))
+    print(f"UB programs generated : {summary['programs_generated']}")
+    print(f"programs tested       : {summary['programs_tested']}")
+    print(f"discrepant programs   : {summary['discrepant_programs']}")
+    print(f"FN candidates         : {summary['fn_candidates']}")
+    print(f"wrong-report candidates: {summary['wrong_report_candidates']}")
+    if "corpus" in summary:
+        corpus = summary["corpus"]
+        print(f"corpus                : {corpus['programs']} programs, "
+              f"{corpus['crashes']} crashes in "
+              f"{corpus['unique_crashes']} dedup buckets")
+    print(f"wall-clock            : {summary['duration_seconds']}s "
+          f"({summary['workers']} worker(s))")
+    print(f"distinct bugs         : {len(summary['bug_reports'])}")
+    for report in summary["bug_reports"]:
+        levels = ", ".join(report["affected_opt_levels"]) or "-"
+        print(f"  [{report['status']:9s}] {report['bug_id']} — "
+              f"{report['compiler']} {report['sanitizer']} / "
+              f"{report['ub_type']} / levels: {levels}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

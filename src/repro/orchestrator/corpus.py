@@ -1,0 +1,180 @@
+"""Persistent corpus store and crash-deduplication index.
+
+Long campaigns produce far more UB programs and raw discrepancies than
+distinct bugs.  The corpus store keeps every tested program (optionally
+persisted to disk as ``.c`` sources plus a JSON index) and buckets every
+FN-bug candidate by ``(UB type, crash site, sanitizer)`` — the same
+signature the paper's authors used to avoid re-triaging duplicates: two
+candidates whose UB, mapped crash location and missing sanitizer all agree
+almost always share a root cause.
+
+The store is an *observability* layer: it never influences which bugs the
+campaign reports (that stays with the triager, so parallel and serial runs
+match), but it answers "what did five months of fuzzing actually produce"
+without replaying the campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.fuzzer import SeedBatch
+from repro.utils.io import atomic_write_json
+
+#: A dedup bucket key: (ub_type value, crash site "line:col" or "?", sanitizer).
+BucketKey = Tuple[str, str, str]
+
+
+@dataclass
+class CrashBucket:
+    """All FN-bug candidates sharing one (UB type, crash site, sanitizer)."""
+
+    ub_type: str
+    crash_site: str
+    sanitizer: str
+    count: int = 0
+    program_ids: List[str] = field(default_factory=list)
+    configs: List[str] = field(default_factory=list)
+
+    @property
+    def key(self) -> BucketKey:
+        return (self.ub_type, self.crash_site, self.sanitizer)
+
+    def to_json(self) -> dict:
+        return {"ub_type": self.ub_type, "crash_site": self.crash_site,
+                "sanitizer": self.sanitizer, "count": self.count,
+                "program_ids": self.program_ids, "configs": self.configs}
+
+    @staticmethod
+    def from_json(record: dict) -> "CrashBucket":
+        return CrashBucket(ub_type=record["ub_type"],
+                           crash_site=record["crash_site"],
+                           sanitizer=record["sanitizer"],
+                           count=record["count"],
+                           program_ids=list(record["program_ids"]),
+                           configs=list(record["configs"]))
+
+
+class CorpusStore:
+    """Stores tested programs and deduplicates their crashes.
+
+    With ``root=None`` everything lives in memory; with a directory, program
+    sources land under ``<root>/programs/`` and the index (programs + crash
+    buckets) in ``<root>/corpus.json``.  ``ingest`` is idempotent per seed
+    index, so re-running a resumed campaign over already-recorded seeds
+    cannot double-count.
+    """
+
+    INDEX_NAME = "corpus.json"
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = str(root) if root is not None else None
+        self.programs: Dict[str, dict] = {}
+        self.buckets: Dict[BucketKey, CrashBucket] = {}
+        self._ingested_seeds: set = set()
+        if self.root is not None and os.path.exists(self._index_path()):
+            self._load()
+
+    # -- ingestion -------------------------------------------------------------
+
+    def ingest(self, batch: SeedBatch) -> int:
+        """Record one seed batch; returns how many *new* crash buckets opened."""
+        if batch.seed_index in self._ingested_seeds:
+            return 0
+        self._ingested_seeds.add(batch.seed_index)
+        new_buckets = 0
+        for position, diff in enumerate(batch.diff_results):
+            program_id = f"s{batch.seed_index:05d}-p{position:03d}"
+            self.programs[program_id] = {
+                "seed_index": batch.seed_index,
+                "position": position,
+                "ub_type": diff.program.ub_type.value,
+                "generator": diff.program.generator,
+                "fn_candidates": len(diff.fn_candidates),
+                "wrong_reports": len(diff.wrong_report_candidates),
+            }
+            if self.root is not None:
+                self._write_program(program_id, diff.program.source)
+            for candidate in diff.fn_candidates:
+                if self._add_crash(program_id, diff.program.ub_type.value,
+                                   candidate.crash_site,
+                                   candidate.missing.config):
+                    new_buckets += 1
+        return new_buckets
+
+    def _add_crash(self, program_id: str, ub_type: str,
+                   crash_site: Optional[tuple], missing_config) -> bool:
+        site = f"{crash_site[0]}:{crash_site[1]}" if crash_site else "?"
+        key: BucketKey = (ub_type, site, missing_config.sanitizer)
+        bucket = self.buckets.get(key)
+        is_new = bucket is None
+        if bucket is None:
+            bucket = CrashBucket(ub_type=ub_type, crash_site=site,
+                                 sanitizer=missing_config.sanitizer)
+            self.buckets[key] = bucket
+        bucket.count += 1
+        if program_id not in bucket.program_ids:
+            bucket.program_ids.append(program_id)
+        label = missing_config.label
+        if label not in bucket.configs:
+            bucket.configs.append(label)
+        return is_new
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def unique_crashes(self) -> int:
+        return len(self.buckets)
+
+    @property
+    def total_crashes(self) -> int:
+        return sum(bucket.count for bucket in self.buckets.values())
+
+    def summary(self) -> dict:
+        return {
+            "programs": len(self.programs),
+            "crashes": self.total_crashes,
+            "unique_crashes": self.unique_crashes,
+            "buckets": [bucket.to_json() for _, bucket in sorted(self.buckets.items())],
+        }
+
+    # -- persistence -----------------------------------------------------------
+
+    def _index_path(self) -> str:
+        assert self.root is not None
+        return os.path.join(self.root, self.INDEX_NAME)
+
+    def _programs_dir(self) -> str:
+        assert self.root is not None
+        return os.path.join(self.root, "programs")
+
+    def _write_program(self, program_id: str, source: str) -> None:
+        directory = self._programs_dir()
+        os.makedirs(directory, exist_ok=True)
+        with open(os.path.join(directory, program_id + ".c"), "w",
+                  encoding="utf-8") as handle:
+            handle.write(source)
+
+    def flush(self) -> None:
+        """Write the JSON index (no-op for in-memory stores)."""
+        if self.root is None:
+            return
+        index = {
+            "programs": self.programs,
+            "ingested_seeds": sorted(self._ingested_seeds),
+            "buckets": [bucket.to_json() for _, bucket in sorted(self.buckets.items())],
+        }
+        atomic_write_json(self._index_path(), index)
+
+    def _load(self) -> None:
+        with open(self._index_path(), "r", encoding="utf-8") as handle:
+            index = json.load(handle)
+        self.programs = dict(index.get("programs", {}))
+        self._ingested_seeds = set(index.get("ingested_seeds", []))
+        self.buckets = {}
+        for record in index.get("buckets", []):
+            bucket = CrashBucket.from_json(record)
+            self.buckets[bucket.key] = bucket

@@ -1,0 +1,89 @@
+"""Pluggable campaign executors: serial in-process or a multiprocessing pool.
+
+An executor maps seed indices to :class:`~repro.core.fuzzer.SeedBatch`
+objects and yields them **in submission order**, so the campaign's merge
+step (:meth:`repro.core.fuzzer.FuzzingCampaign.collect`) sees the exact
+sequence a serial run would have produced regardless of which process
+finished first.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.core.fuzzer import CampaignConfig, FuzzingCampaign, SeedBatch
+from repro.orchestrator.worker import initialize_worker, run_seed_in_worker
+
+
+class Executor:
+    """Maps seed indices to batches, preserving submission order."""
+
+    def map_seeds(self, config: CampaignConfig,
+                  seed_indices: Sequence[int]) -> Iterator[SeedBatch]:
+        raise NotImplementedError
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+
+class SerialExecutor(Executor):
+    """Runs every seed in the calling process, lazily."""
+
+    def map_seeds(self, config: CampaignConfig,
+                  seed_indices: Sequence[int]) -> Iterator[SeedBatch]:
+        campaign = FuzzingCampaign(config)
+        for seed_index in seed_indices:
+            yield campaign.run_seed(seed_index)
+
+
+class PoolExecutor(Executor):
+    """Shards seeds across a :mod:`multiprocessing` worker pool.
+
+    Results are consumed through ``imap`` with ``chunksize=1``: seeds are
+    handed out round-robin as workers free up, but yielded back in seed
+    order, which keeps the merged campaign deterministic.  The ``fork``
+    start method is preferred (cheap, and defect registries containing
+    callables need no pickling); platforms without it fall back to their
+    default method.
+    """
+
+    def __init__(self, workers: int = 2,
+                 start_method: Optional[str] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._workers = workers
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._context = multiprocessing.get_context(start_method)
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def map_seeds(self, config: CampaignConfig,
+                  seed_indices: Sequence[int]) -> Iterator[SeedBatch]:
+        seed_indices = list(seed_indices)
+        if not seed_indices:
+            return
+        pool = self._context.Pool(processes=min(self._workers, len(seed_indices)),
+                                  initializer=initialize_worker,
+                                  initargs=(config,))
+        try:
+            for batch in pool.imap(run_seed_in_worker, seed_indices, chunksize=1):
+                yield batch
+        finally:
+            # terminate() rather than close(): when the consumer stops early
+            # (max_programs_total reached, session cap), pending work-items
+            # are abandoned, not drained.
+            pool.terminate()
+            pool.join()
+
+
+def make_executor(workers: int = 1) -> Executor:
+    """``workers <= 1`` → serial; otherwise a pool of that many processes."""
+    if workers <= 1:
+        return SerialExecutor()
+    return PoolExecutor(workers=workers)

@@ -1,0 +1,29 @@
+"""Worker-process entry points for the pooled executor.
+
+Each pool process builds one :class:`~repro.core.fuzzer.FuzzingCampaign` at
+initialization and reuses it for every seed index it is handed.  Because a
+seed work-item's RNG streams are derived from ``(rng_seed, seed_index)``
+(see :func:`repro.utils.rng.derive_seed`) and never from process-local
+state, any worker produces bit-identical batches for a given index.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.fuzzer import CampaignConfig, FuzzingCampaign, SeedBatch
+
+_WORKER_CAMPAIGN: Optional[FuzzingCampaign] = None
+
+
+def initialize_worker(config: CampaignConfig) -> None:
+    """Pool initializer: build this process's campaign once."""
+    global _WORKER_CAMPAIGN
+    _WORKER_CAMPAIGN = FuzzingCampaign(config)
+
+
+def run_seed_in_worker(seed_index: int) -> SeedBatch:
+    """Pool task: process one seed work-item."""
+    if _WORKER_CAMPAIGN is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker process was not initialized")
+    return _WORKER_CAMPAIGN.run_seed(seed_index)

@@ -31,7 +31,7 @@ from repro.cdsl.sema import analyze
 from repro.cdsl.source import UNKNOWN_LOCATION
 from repro.seedgen.config import GeneratorConfig
 from repro.utils.errors import GenerationError
-from repro.utils.rng import RandomSource
+from repro.utils.rng import RandomSource, derive_seed
 from repro.vm.interpreter import run_program
 
 
@@ -69,7 +69,9 @@ class CsmithGenerator:
         """Generate the *index*-th seed program for this configuration."""
         last_error = "unknown"
         for attempt in range(4):
-            rng = RandomSource(self.config.seed).fork(index * 31 + attempt)
+            # The salt folds the retry attempt into the index (attempts < 4,
+            # spacing 31 keeps the salts collision-free).
+            rng = RandomSource(derive_seed(self.config.seed, index * 31 + attempt))
             builder = _ProgramBuilder(self.config, rng)
             unit = builder.build()
             source = print_program(unit)

@@ -28,7 +28,7 @@ from repro.cdsl.parser import parse_program
 from repro.cdsl.printer import print_program
 from repro.cdsl.visitor import clone, find_nodes, replace_node, walk
 from repro.seedgen.csmith import SeedProgram
-from repro.utils.rng import RandomSource
+from repro.utils.rng import RandomSource, derive_seed
 
 MUTATION_OPERATORS = ("OAAN", "ORRN", "OLLN", "CRCR", "OIDO", "SDL", "ABS")
 
@@ -56,7 +56,7 @@ class MusicMutator:
 
     def mutate(self, seed_program: SeedProgram, count: int = 10) -> List[Mutant]:
         """Produce up to *count* syntactically valid mutants of one seed."""
-        rng = RandomSource(self.seed).fork(seed_program.index)
+        rng = RandomSource(derive_seed(self.seed, seed_program.index))
         base_unit = parse_program(seed_program.source)
         mutants: List[Mutant] = []
         attempts = 0

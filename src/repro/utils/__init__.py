@@ -11,7 +11,7 @@ from repro.utils.errors import (
     ReproError,
     SemaError,
 )
-from repro.utils.rng import RandomSource
+from repro.utils.rng import RandomSource, derive_seed
 from repro.utils.text import format_table, indent, number_lines, percent
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "ReproError",
     "SemaError",
     "RandomSource",
+    "derive_seed",
     "format_table",
     "indent",
     "number_lines",

@@ -1,0 +1,21 @@
+"""Small filesystem helpers shared by the persistence layers."""
+
+from __future__ import annotations
+
+import json
+import os
+
+
+def atomic_write_json(path: str, payload) -> None:
+    """Write *payload* as JSON via a temp file + ``os.replace``.
+
+    Readers (and a campaign killed mid-write) only ever observe either the
+    previous complete document or the new one, never a torn write.  Parent
+    directories are created as needed.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp_path, path)

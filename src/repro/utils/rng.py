@@ -13,6 +13,24 @@ from typing import Sequence, TypeVar
 
 T = TypeVar("T")
 
+_DERIVE_MULTIPLIER = 1_000_003
+_SEED_MASK = 0xFFFFFFFF
+
+
+def derive_seed(master: int, *indices: int) -> int:
+    """Derive a stable child seed from a master seed and index path.
+
+    Every per-item RNG in the system (one per seed program, one per mutation
+    site, one per worker shard) is seeded through this function, so that the
+    stream an item sees depends only on ``(master, indices)`` — never on how
+    the work was ordered or which process ran it.  That property is what lets
+    a parallel campaign reproduce a serial one bit-for-bit.
+    """
+    child = master & _SEED_MASK
+    for index in indices:
+        child = (child * _DERIVE_MULTIPLIER + index) & _SEED_MASK
+    return child
+
 
 class RandomSource:
     """A seedable random source with a few convenience helpers."""
@@ -27,7 +45,11 @@ class RandomSource:
         Forking lets parallel or per-item work (one stream per seed program,
         one per mutation site) stay reproducible regardless of ordering.
         """
-        return RandomSource((self.seed * 1_000_003 + salt) & 0xFFFFFFFF)
+        return RandomSource(derive_seed(self.seed, salt))
+
+    def derive(self, *indices: int) -> "RandomSource":
+        """Fork on a multi-component index path (see :func:`derive_seed`)."""
+        return RandomSource(derive_seed(self.seed, *indices))
 
     def randint(self, lo: int, hi: int) -> int:
         """Return a random integer in the inclusive range [lo, hi]."""

@@ -122,3 +122,23 @@ def test_oracle_accuracy_on_small_campaign(small_campaign):
     assert 0.0 <= accuracy.recall_on_sample <= 1.0
     # The oracle should be strongly precise against ground truth.
     assert accuracy.precision >= 0.9
+
+
+def test_campaign_cache_keys_on_full_config_and_clears():
+    from repro.analysis import clear_campaign_cache, run_bug_finding_campaign
+    from repro.analysis.campaign import _CAMPAIGN_CACHE
+
+    scale = dict(num_seeds=2, rng_seed=5, opt_levels=("-O0", "-O2"),
+                 max_programs_per_type=1, triage=False)
+    first = run_bug_finding_campaign(**scale)
+    assert run_bug_finding_campaign(**scale) is first
+
+    # A knob the old tuple key ignored must produce a distinct entry.
+    gcc_only = run_bug_finding_campaign(**scale, compilers=("gcc",))
+    assert gcc_only is not first
+    assert all(r.program is not None for r in gcc_only.differential_results)
+    assert len(_CAMPAIGN_CACHE) >= 2
+
+    clear_campaign_cache()
+    assert len(_CAMPAIGN_CACHE) == 0
+    assert run_bug_finding_campaign(**scale) is not first

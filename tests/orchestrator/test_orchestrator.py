@@ -1,0 +1,260 @@
+"""Tests for the campaign orchestrator: executors, determinism, corpus,
+checkpoint/resume, throughput stats and the CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core import CampaignConfig, FuzzingCampaign, SeedBatch
+from repro.orchestrator import (
+    CampaignCheckpoint,
+    CheckpointMismatch,
+    CorpusStore,
+    OrchestratedCampaign,
+    PoolExecutor,
+    SerialExecutor,
+    ThroughputMonitor,
+    batch_from_record,
+    batch_to_record,
+    config_fingerprint,
+    make_executor,
+)
+from repro.orchestrator.cli import main as cli_main
+
+#: One shared small campaign scale for the whole module (seeds are the unit
+#: of parallelism, so three seeds exercise sharding across two workers).
+MODULE_SCALE = dict(num_seeds=3, rng_seed=5, max_programs_per_type=1,
+                    opt_levels=("-O0", "-O2"))
+
+
+@pytest.fixture(scope="module")
+def config() -> CampaignConfig:
+    return CampaignConfig(**MODULE_SCALE)
+
+
+@pytest.fixture(scope="module")
+def serial_result(config):
+    """The ground truth: the plain serial campaign."""
+    return FuzzingCampaign(config).run()
+
+
+def _report_keys(result):
+    return sorted((report.bug_id, report.compiler, report.sanitizer,
+                   report.ub_type, report.status,
+                   tuple(report.affected_opt_levels),
+                   tuple(report.affected_versions))
+                  for report in result.bug_reports)
+
+
+def _stat_tuple(result):
+    stats = result.stats
+    return (stats.seeds_used, dict(stats.programs_generated),
+            stats.programs_tested, stats.discrepant_programs,
+            stats.optimization_discrepancies, stats.fn_candidates,
+            stats.wrong_report_candidates)
+
+
+# ---------------------------------------------------------------------------
+# Executors and determinism
+# ---------------------------------------------------------------------------
+
+def test_make_executor_picks_by_worker_count():
+    assert isinstance(make_executor(1), SerialExecutor)
+    assert isinstance(make_executor(3), PoolExecutor)
+    assert make_executor(3).workers == 3
+    with pytest.raises(ValueError):
+        PoolExecutor(workers=0)
+
+
+def test_serial_executor_matches_inline_run(config, serial_result):
+    through_executor = FuzzingCampaign(config).run(executor=SerialExecutor())
+    assert _report_keys(through_executor) == _report_keys(serial_result)
+    assert _stat_tuple(through_executor) == _stat_tuple(serial_result)
+
+
+def test_parallel_run_is_deterministic(config, serial_result):
+    """The acceptance criterion: workers=2 reproduces workers=1 exactly."""
+    corpus = CorpusStore()
+    lines = []
+    orchestrated = OrchestratedCampaign(config, workers=2, corpus=corpus,
+                                        progress=lines.append)
+    result = orchestrated.run()
+    assert _report_keys(result) == _report_keys(serial_result)
+    assert _stat_tuple(result) == _stat_tuple(serial_result)
+    # Live stats streamed one line per seed and counted every program.
+    assert len(lines) == result.stats.seeds_used
+    assert orchestrated.monitor.programs_tested == result.stats.programs_tested
+    # Every FN candidate landed in a dedup bucket keyed by
+    # (UB type, crash site, sanitizer).
+    assert corpus.total_crashes == result.stats.fn_candidates
+    assert len(corpus.programs) == result.stats.programs_tested
+    if result.stats.fn_candidates:
+        assert 0 < corpus.unique_crashes <= result.stats.fn_candidates
+        ub_values = {ub.value for ub in config.ub_types}
+        for ub_type, _site, sanitizer in corpus.buckets:
+            assert ub_type in ub_values
+            assert sanitizer in ("asan", "ubsan", "msan")
+
+
+def test_max_programs_total_truncates_like_serial():
+    scale = dict(MODULE_SCALE, max_programs_total=4)
+    config = CampaignConfig(**scale)
+    serial = FuzzingCampaign(config).run()
+    pooled = OrchestratedCampaign(config, workers=2).run()
+    assert serial.stats.programs_tested == 4
+    assert _report_keys(pooled) == _report_keys(serial)
+    assert _stat_tuple(pooled) == _stat_tuple(serial)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / resume
+# ---------------------------------------------------------------------------
+
+def test_killed_then_resumed_campaign_matches(tmp_path, config, serial_result):
+    checkpoint = str(tmp_path / "campaign.json")
+    corpus_dir = str(tmp_path / "corpus")
+
+    # Session 1 "dies" after one seed (session cap simulates the kill).
+    partial = OrchestratedCampaign(config, workers=2, checkpoint_path=checkpoint,
+                                   corpus=corpus_dir,
+                                   max_seeds_per_session=1).run()
+    assert partial.stats.seeds_used == 1
+    snapshot = json.loads(open(checkpoint).read())
+    assert list(snapshot["seeds"]) == ["0"]
+
+    # Session 2 resumes and completes with the uninterrupted results.
+    resumed = OrchestratedCampaign(config, workers=2, checkpoint_path=checkpoint,
+                                   corpus=corpus_dir)
+    result = resumed.run()
+    assert resumed.resumed_indices == [0]
+    assert _report_keys(result) == _report_keys(serial_result)
+    assert _stat_tuple(result) == _stat_tuple(serial_result)
+    # Restored seeds advance the position but not the throughput figures.
+    assert resumed.monitor.seeds_restored == 1
+    assert resumed.monitor.seeds_done == 2
+    assert resumed.monitor.snapshot().seeds_done == 3
+    assert "(1 restored)" in resumed.monitor.snapshot().format_line()
+
+    # The persistent corpus ingested each seed exactly once across sessions.
+    store = CorpusStore(root=corpus_dir)
+    assert store.total_crashes == serial_result.stats.fn_candidates
+    assert len(store.programs) == serial_result.stats.programs_tested
+    program_files = os.listdir(os.path.join(corpus_dir, "programs"))
+    assert len(program_files) == serial_result.stats.programs_tested
+
+    # Session 3 is a pure replay: every seed restored, same reports again.
+    replay = OrchestratedCampaign(config, checkpoint_path=checkpoint)
+    replay_result = replay.run()
+    assert replay.resumed_indices == [0, 1, 2]
+    assert _report_keys(replay_result) == _report_keys(serial_result)
+    assert _stat_tuple(replay_result) == _stat_tuple(serial_result)
+
+
+def test_checkpoint_refuses_other_config(tmp_path, config):
+    checkpoint_path = str(tmp_path / "campaign.json")
+    CampaignCheckpoint(checkpoint_path, config).record(
+        SeedBatch(seed_index=0, generated=True))
+    other = CampaignConfig(**dict(MODULE_SCALE, rng_seed=6))
+    assert config_fingerprint(other) != config_fingerprint(config)
+    with pytest.raises(CheckpointMismatch):
+        CampaignCheckpoint(checkpoint_path, other).load()
+
+
+def test_checkpoint_flush_interval_batches_writes(tmp_path, config):
+    path = str(tmp_path / "interval.json")
+    checkpoint = CampaignCheckpoint(path, config, flush_interval=2)
+    checkpoint.record(SeedBatch(seed_index=0, generated=True))
+    assert not os.path.exists(path)  # below the interval: nothing written yet
+    checkpoint.record(SeedBatch(seed_index=1, generated=True))
+    assert os.path.exists(path)
+    checkpoint.record(SeedBatch(seed_index=2, generated=True))
+    checkpoint.flush()
+    restored = CampaignCheckpoint(path, config).load()
+    assert sorted(restored) == [0, 1, 2]
+
+
+def test_batch_record_roundtrip_preserves_reports(config):
+    """A checkpointed (thin) batch triages to the same reports as the original."""
+    campaign = FuzzingCampaign(config)
+    batch = campaign.run_seed(0)
+    thin = batch_from_record(batch_to_record(batch))
+    assert thin.seed_index == batch.seed_index
+    assert thin.programs_generated == batch.programs_generated
+    assert thin.programs_tested == batch.programs_tested
+    original = FuzzingCampaign(config).collect([batch])
+    restored = FuzzingCampaign(config).collect([thin])
+    assert _report_keys(restored) == _report_keys(original)
+    assert _stat_tuple(restored) == _stat_tuple(original)
+
+
+# ---------------------------------------------------------------------------
+# Corpus store
+# ---------------------------------------------------------------------------
+
+def test_corpus_ingest_is_idempotent(config):
+    batch = FuzzingCampaign(config).run_seed(0)
+    store = CorpusStore()
+    store.ingest(batch)
+    crashes, programs = store.total_crashes, len(store.programs)
+    assert store.ingest(batch) == 0
+    assert store.total_crashes == crashes
+    assert len(store.programs) == programs
+
+
+# ---------------------------------------------------------------------------
+# Throughput stats
+# ---------------------------------------------------------------------------
+
+def test_throughput_monitor_rates_and_eta():
+    clock = iter([0.0, 10.0, 20.0]).__next__
+    monitor = ThroughputMonitor(seeds_total=2, clock=clock)
+    monitor.start()
+    first = monitor.observe(SeedBatch(seed_index=0, generated=True,
+                                      diff_results=[]))
+    assert first.seeds_done == 1 and first.elapsed_seconds == 10.0
+    assert first.eta_seconds == 10.0  # one of two seeds done in 10s
+    second = monitor.observe(SeedBatch(seed_index=1, generated=True,
+                                       diff_results=[]))
+    assert second.seeds_done == 2 and second.eta_seconds is None
+    assert "seeds 2/2" in second.format_line()
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_json_summary(tmp_path, capsys):
+    checkpoint = str(tmp_path / "cli.json")
+    exit_code = cli_main([
+        "--seeds", "2", "--rng-seed", "5", "--max-programs-per-type", "1",
+        "--opt-levels=-O0,-O2", "--no-triage", "--quiet", "--json",
+        "--checkpoint", checkpoint,
+    ])
+    assert exit_code == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["seeds_used"] == 2
+    assert summary["programs_tested"] > 0
+    assert summary["bug_reports"] == []  # --no-triage
+    assert os.path.exists(checkpoint)
+
+    # Resuming the same checkpoint with a different config is a clean
+    # one-line error (exit 2), not a traceback.
+    exit_code = cli_main([
+        "--seeds", "2", "--rng-seed", "6", "--max-programs-per-type", "1",
+        "--opt-levels=-O0,-O2", "--no-triage", "--quiet",
+        "--checkpoint", checkpoint,
+    ])
+    assert exit_code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_rejects_bad_inputs(capsys):
+    assert cli_main(["--ub-types=not-a-ub"]) == 2
+    assert "unknown UB type" in capsys.readouterr().err
+    assert cli_main(["--compilers=tcc"]) == 2
+    assert "unknown compiler" in capsys.readouterr().err
+    assert cli_main(["--opt-levels=-O9"]) == 2
+    assert "unknown optimization level" in capsys.readouterr().err
