@@ -370,6 +370,11 @@ def measure_corpus_coverage(sources_by_corpus: Dict[str, List[str]],
     compiled once per compiler with every sanitizer that compiler supports,
     mirroring the paper's Gcov measurement over sanitizer-related files.
     """
+    # Warm the process-wide defect registry before tracing starts: its
+    # one-time construction would otherwise be credited to whichever corpus
+    # happens to compile first, skewing the cross-corpus comparison.
+    from repro.sanitizers.defects import default_defects
+    default_defects()
     results: Dict[str, Dict[str, CoverageReport]] = {name: {} for name in compilers}
     for compiler_name in compilers:
         for corpus, sources in sources_by_corpus.items():

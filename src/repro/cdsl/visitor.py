@@ -49,6 +49,42 @@ def clone(node: N) -> N:
     return copy.deepcopy(node)
 
 
+def fast_clone(node: N) -> N:
+    """Structurally copy a subtree without ``copy.deepcopy`` overhead.
+
+    Node objects and the lists holding them are copied (ids preserved,
+    aliasing respected via a memo); every other attribute value — source
+    locations, types, resolved symbols, detail dicts — is *shared* with the
+    original, except plain dicts which get a shallow copy.  The result is
+    meant for the compilation pipeline, which re-runs semantic analysis on
+    the copy before anything consults symbols or types, so sharing the
+    stale annotations is safe.  Prefer :func:`clone` when the copy must be
+    fully independent (e.g. seed mutation).
+    """
+    return _fast_clone(node, {})
+
+
+def _fast_clone(node: ast.Node, memo: Dict[int, ast.Node]) -> ast.Node:
+    existing = memo.get(id(node))
+    if existing is not None:
+        return existing
+    new = object.__new__(type(node))
+    memo[id(node)] = new
+    target = new.__dict__
+    for key, value in node.__dict__.items():
+        if isinstance(value, ast.Node):
+            target[key] = _fast_clone(value, memo)
+        elif type(value) is list:
+            target[key] = [_fast_clone(item, memo)
+                           if isinstance(item, ast.Node) else item
+                           for item in value]
+        elif type(value) is dict:
+            target[key] = dict(value)
+        else:
+            target[key] = value
+    return new
+
+
 def clone_fresh(node: N) -> N:
     """Deep-copy a subtree and give every copied node a new id.
 

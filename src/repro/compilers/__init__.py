@@ -1,6 +1,7 @@
 """Simulated compilers: GCC and LLVM with optimizer + sanitizer pipelines."""
 
 from repro.compilers.binary import CompiledBinary
+from repro.compilers.cache import CompilationCache, source_fingerprint
 from repro.compilers.compiler import (
     GccCompiler,
     LlvmCompiler,
@@ -19,7 +20,9 @@ from repro.compilers.versions import (
 )
 
 __all__ = [
+    "CompilationCache",
     "CompiledBinary",
+    "source_fingerprint",
     "GccCompiler",
     "LlvmCompiler",
     "SimulatedCompiler",

@@ -1,0 +1,145 @@
+"""Shared compilation cache (diopter-style artifact reuse).
+
+Differential testing compiles the *same* source text under many
+(compiler, sanitizer, optimization level) configurations, but only two of
+the pipeline's phases actually depend on the configuration:
+
+* the **frontend** (parse + first semantic analysis) depends only on the
+  source text;
+* the **optimizer pipeline** depends on (source, compiler, version,
+  opt level);
+* the **sanitizer instrumentation** is a per-configuration overlay applied
+  to a copy of the optimized unit.
+
+:class:`CompilationCache` memoizes the first two phases in two bounded LRU
+layers keyed by a source fingerprint, so an N-config differential matrix
+costs 1 parse + O(opt levels) optimizations instead of N full compiles.
+Cached units are immutable masters: consumers receive
+:func:`~repro.cdsl.visitor.fast_clone` copies and re-run semantic analysis,
+which keeps every produced binary bit-identical to an uncached compile.
+
+The cache is shared per process: :class:`~repro.core.differential.DifferentialTester`
+and the campaign attach one cache to all their compilers, and each
+orchestrator pool worker owns the cache of its process-local campaign (the
+cache is additionally lock-protected so threaded callers cannot corrupt it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Callable, Optional, Tuple
+
+from repro.cdsl import ast_nodes as ast
+
+#: Default bound for each LRU layer.  An entry is one parsed/optimized AST
+#: (a few hundred KB for csmith-sized programs), so the default keeps the
+#: cache within tens of MB even for long-running campaign workers.
+DEFAULT_MAX_ENTRIES = 128
+
+
+def source_fingerprint(source_text: str) -> str:
+    """Stable fingerprint of one source program."""
+    return hashlib.sha256(source_text.encode("utf-8")).hexdigest()
+
+
+class _LRU:
+    """A tiny bounded LRU map (thread-safety provided by the owning cache)."""
+
+    def __init__(self, max_entries: int) -> None:
+        self.max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+        self.evictions = 0
+
+    def get(self, key):
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class CompilationCache:
+    """Bounded, fingerprint-keyed cache of frontend and optimizer artifacts.
+
+    ``frontend(...)`` and ``optimized(...)`` both take a *builder* callable
+    producing the artifact on a miss; the artifact is stored as an immutable
+    master and returned as-is — callers must :func:`fast_clone` it before
+    mutating (the compiler driver does).
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        self._lock = threading.Lock()
+        self._frontend = _LRU(max_entries)
+        self._optimized = _LRU(max_entries)
+        self.hits = 0
+        self.misses = 0
+
+    # -- layers ---------------------------------------------------------------
+
+    def frontend(self, fingerprint: str,
+                 builder: Callable[[], ast.TranslationUnit]) -> ast.TranslationUnit:
+        """The parsed (pristine, unanalysed) unit of one source text."""
+        with self._lock:
+            unit = self._frontend.get(fingerprint)
+            if unit is not None:
+                self.hits += 1
+                return unit
+        unit = builder()
+        with self._lock:
+            self.misses += 1
+            self._frontend.put(fingerprint, unit)
+        return unit
+
+    def optimized(self, fingerprint: str, compiler: str, version: int,
+                  opt_level: str,
+                  builder: Callable[[], Tuple[ast.TranslationUnit, tuple]]
+                  ) -> Tuple[ast.TranslationUnit, tuple]:
+        """The optimized unit + names of the passes that ran, for one
+        (source, compiler, version, opt level)."""
+        key = (fingerprint, compiler, version, opt_level)
+        with self._lock:
+            entry = self._optimized.get(key)
+            if entry is not None:
+                self.hits += 1
+                return entry
+        entry = builder()
+        with self._lock:
+            self.misses += 1
+            self._optimized.put(key, entry)
+        return entry
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def evictions(self) -> int:
+        with self._lock:
+            return self._frontend.evictions + self._optimized.evictions
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "frontend_entries": len(self._frontend),
+                "optimized_entries": len(self._optimized),
+                "evictions": (self._frontend.evictions
+                              + self._optimized.evictions),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._frontend = _LRU(self._frontend.max_entries)
+            self._optimized = _LRU(self._optimized.max_entries)
+            self.hits = 0
+            self.misses = 0

@@ -19,8 +19,9 @@ from repro.cdsl import ast_nodes as ast
 from repro.cdsl.parser import parse_program
 from repro.cdsl.printer import print_program
 from repro.cdsl.sema import analyze
-from repro.cdsl.visitor import clone
+from repro.cdsl.visitor import clone, fast_clone
 from repro.compilers.binary import CompiledBinary
+from repro.compilers.cache import CompilationCache, source_fingerprint
 from repro.compilers.options import CompileOptions
 from repro.compilers.versions import trunk_version
 from repro.optim.passes import OptimizationContext
@@ -33,16 +34,25 @@ SourceLike = Union[str, ast.TranslationUnit]
 
 
 class SimulatedCompiler:
-    """Base class for the two simulated compilers (GCC and LLVM)."""
+    """Base class for the two simulated compilers (GCC and LLVM).
+
+    When a :class:`~repro.compilers.cache.CompilationCache` is attached, the
+    configuration-independent phases are shared across compiles of the same
+    source text: the frontend runs once per source, the optimizer pipeline
+    once per (source, opt level), and only the sanitizer overlay runs per
+    configuration — producing binaries bit-identical to uncached compiles.
+    """
 
     name = "cc"
 
     def __init__(self, version: Optional[int] = None,
                  defect_registry: Optional[Sequence] = None,
-                 coverage=None) -> None:
+                 coverage=None,
+                 cache: Optional[CompilationCache] = None) -> None:
         self.version = version if version is not None else trunk_version(self.name)
         self.defect_registry = defect_registry
         self.coverage = coverage
+        self.cache = cache
 
     # -- public API -------------------------------------------------------------
 
@@ -68,18 +78,21 @@ class SimulatedCompiler:
             raise CompilationError(
                 f"{self.name} does not support -fsanitize={options.sanitizer}")
 
-        unit, source_text = self._frontend(source)
-        sema = self._analyze(unit, source_text)
-
-        # Optimizer passes (Figure 2: they run before the sanitizer pass).
-        opt_ctx = OptimizationContext(compiler=self.name, version=self.version,
-                                      opt_level=options.opt_level,
-                                      coverage=self.coverage)
-        pipeline = pipeline_for(self.name, options.opt_level)
-        passes_run = pipeline.run(unit, sema, opt_ctx)
-        # Passes may have created new nodes (literals, rewritten branches):
-        # re-run semantic analysis so types and symbols are consistent.
-        sema = self._analyze(unit, source_text)
+        if (self.cache is not None and self.coverage is None
+                and isinstance(source, str)):
+            # Coverage-collecting compiles bypass the cache: a hit would skip
+            # the pipeline and under-record branch coverage.  AST input also
+            # bypasses it, since callers rely on their node ids surviving.
+            unit, sema, source_text, passes_run = self._cached_phases(
+                source, options.opt_level)
+        else:
+            unit, source_text = self._frontend(source)
+            sema = self._analyze(unit, source_text)
+            passes_run = self._optimize(unit, sema, options.opt_level)
+            # Passes may have created new nodes (literals, rewritten
+            # branches): re-run semantic analysis so types and symbols are
+            # consistent.
+            sema = self._analyze(unit, source_text)
 
         sanitizer_pass = None
         sanitizer_ctx = None
@@ -96,6 +109,47 @@ class SimulatedCompiler:
                               sanitizer_context=sanitizer_ctx,
                               source=source_text,
                               passes_run=tuple(passes_run))
+
+    # -- cacheable phases --------------------------------------------------------
+
+    def _optimize(self, unit: ast.TranslationUnit, sema,
+                  opt_level: str) -> list:
+        """Run the optimizer pipeline (Figure 2: before the sanitizer pass)."""
+        opt_ctx = OptimizationContext(compiler=self.name, version=self.version,
+                                      opt_level=opt_level,
+                                      coverage=self.coverage)
+        return pipeline_for(self.name, opt_level).run(unit, sema, opt_ctx)
+
+    def _cached_phases(self, source_text: str, opt_level: str):
+        """Frontend + optimizer with artifact sharing through the cache.
+
+        The cache stores immutable master units; every consumer (the
+        optimizer on a frontend master, the sanitizer overlay on an
+        optimized master) works on a :func:`fast_clone` and re-runs semantic
+        analysis, so the binaries handed out are bit-identical to the
+        uncached path's.
+        """
+        fingerprint = source_fingerprint(source_text)
+
+        def build_frontend() -> ast.TranslationUnit:
+            try:
+                return parse_program(source_text)
+            except Exception as exc:
+                raise CompilationError(
+                    f"{self.name}: parse error: {exc}") from exc
+
+        def build_optimized():
+            pristine = self.cache.frontend(fingerprint, build_frontend)
+            work = fast_clone(pristine)
+            sema = self._analyze(work, source_text)
+            passes_run = self._optimize(work, sema, opt_level)
+            return work, tuple(passes_run)
+
+        master, passes_run = self.cache.optimized(
+            fingerprint, self.name, self.version, opt_level, build_optimized)
+        unit = fast_clone(master)
+        sema = self._analyze(unit, source_text)
+        return unit, sema, source_text, passes_run
 
     # -- helpers ----------------------------------------------------------------
 
@@ -135,11 +189,12 @@ _COMPILER_CLASSES = {"gcc": GccCompiler, "llvm": LlvmCompiler}
 
 def make_compiler(name: str, version: Optional[int] = None,
                   defect_registry: Optional[Sequence] = None,
-                  coverage=None) -> SimulatedCompiler:
+                  coverage=None,
+                  cache: Optional[CompilationCache] = None) -> SimulatedCompiler:
     """Factory: build a compiler by name ("gcc" or "llvm")."""
     try:
         cls = _COMPILER_CLASSES[name]
     except KeyError as exc:
         raise KeyError(f"unknown compiler {name!r}") from exc
     return cls(version=version, defect_registry=defect_registry,
-               coverage=coverage)
+               coverage=coverage, cache=cache)

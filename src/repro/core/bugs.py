@@ -68,9 +68,16 @@ class BugTriager:
     """Attributes FN bug candidates to seeded defects and builds reports."""
 
     def __init__(self, registry: Optional[Sequence[Defect]] = None,
-                 max_steps: int = 200_000) -> None:
+                 max_steps: int = 200_000,
+                 compilation_cache=None) -> None:
         self.registry = list(registry) if registry is not None else default_defects()
         self.max_steps = max_steps
+        # Sharing the campaign's CompilationCache pays off heavily here:
+        # bisection probes the same program once per (version, opt level,
+        # disabled defect), and the cached phases are keyed on exactly
+        # (source, compiler, version, opt level) — defect registries only
+        # affect the uncached sanitizer overlay.
+        self.compilation_cache = compilation_cache
 
     # -- public ------------------------------------------------------------------
 
@@ -134,7 +141,8 @@ class BugTriager:
     def _run(self, program: UBProgram, compiler_name: str, version: int,
              sanitizer: str, opt_level: str, registry: Sequence[Defect]):
         compiler = make_compiler(compiler_name, version=version,
-                                 defect_registry=registry)
+                                 defect_registry=registry,
+                                 cache=self.compilation_cache)
         try:
             binary = compiler.compile(program.source,
                                       CompileOptions(opt_level=opt_level,

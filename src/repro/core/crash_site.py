@@ -65,6 +65,14 @@ def is_sanitizer_bug_from_results(crashing: ExecutionResult,
                              "both binaries crashed: no discrepancy")
     crash_site = crashing.crash_site
     if crash_site is None and crashing.site_trace:
+        if crashing.trace_truncated:
+            # The trace hit the recording cap, so its tail is some arbitrary
+            # mid-execution site, not the crash site.  Mapping it could
+            # mis-attribute an optimization discrepancy as a sanitizer bug,
+            # so the oracle declines to flag one (conservative).
+            return OracleVerdict(False, None,
+                                 "site trace truncated: the recorded tail is "
+                                 "not the crash site")
         crash_site = crashing.site_trace[-1]
     if crash_site is None:
         return OracleVerdict(False, None, "no crash site information (missing -g?)")

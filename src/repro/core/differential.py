@@ -14,8 +14,9 @@ binaries, and look for discrepancies:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
+from repro.compilers.cache import CompilationCache
 from repro.compilers.compiler import SimulatedCompiler, make_compiler
 from repro.compilers.options import ALL_OPT_LEVELS, CompileOptions
 from repro.core.crash_site import OracleVerdict, is_sanitizer_bug_from_results
@@ -112,13 +113,40 @@ def default_configs(ub_type, compilers: Sequence[str] = ("gcc", "llvm"),
 
 class DifferentialTester:
     """Compiles and runs UB programs across configurations and applies the
-    crash-site mapping oracle to every discrepancy."""
+    crash-site mapping oracle to every discrepancy.
+
+    A single :class:`CompilationCache` is shared by all the tester's
+    compilers (``cache=True``, the default), so one program's N-config
+    matrix performs one parse and one optimizer run per opt level instead of
+    N full compiles.  ``cache=False`` selects the uncached behaviour.  With
+    caller-provided *compilers*, the default never touches them (each keeps
+    whatever cache it was built with); passing an explicit
+    :class:`CompilationCache` instance attaches it to any provided compiler
+    that has none.
+    """
 
     def __init__(self, compilers: Optional[Dict[str, SimulatedCompiler]] = None,
                  opt_levels: Sequence[str] = ALL_OPT_LEVELS,
-                 max_steps: int = 200_000) -> None:
+                 max_steps: int = 200_000,
+                 cache: Union[CompilationCache, bool] = True) -> None:
+        explicit_cache = isinstance(cache, CompilationCache)
         if compilers is None:
-            compilers = {"gcc": make_compiler("gcc"), "llvm": make_compiler("llvm")}
+            if cache is True:
+                cache = CompilationCache()
+            elif cache is False:
+                cache = None
+            self.cache = cache
+            compilers = {"gcc": make_compiler("gcc", cache=cache),
+                         "llvm": make_compiler("llvm", cache=cache)}
+        elif explicit_cache:
+            self.cache = cache
+            for compiler in compilers.values():
+                if compiler.cache is None:
+                    compiler.cache = cache
+        else:
+            # Caller-provided compilers keep whatever cache they were built
+            # with; without an explicit instance there is nothing to attach.
+            self.cache = None
         self.compilers = compilers
         self.opt_levels = tuple(opt_levels)
         self.max_steps = max_steps

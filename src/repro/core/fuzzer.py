@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
+from repro.compilers.cache import CompilationCache
 from repro.compilers.compiler import make_compiler
 from repro.compilers.options import ALL_OPT_LEVELS
 from repro.core.bugs import BugReport, BugTriager
@@ -139,13 +140,20 @@ class FuzzingCampaign:
         self.ub_generator = UBGenerator(
             seed=self.config.rng_seed,
             max_programs_per_type=self.config.max_programs_per_type)
-        compilers = {name: make_compiler(name, defect_registry=registry)
+        # One compilation cache per campaign (per orchestrator worker
+        # process): every (compiler, sanitizer, opt level) configuration of
+        # one generated program shares the parse and optimizer artifacts.
+        self.compilation_cache = CompilationCache()
+        compilers = {name: make_compiler(name, defect_registry=registry,
+                                         cache=self.compilation_cache)
                      for name in self.config.compilers}
         self.tester = DifferentialTester(compilers=compilers,
                                          opt_levels=self.config.opt_levels,
-                                         max_steps=self.config.max_steps)
+                                         max_steps=self.config.max_steps,
+                                         cache=self.compilation_cache)
         self.triager = BugTriager(registry=registry,
-                                  max_steps=self.config.max_steps)
+                                  max_steps=self.config.max_steps,
+                                  compilation_cache=self.compilation_cache)
 
     # -- public ---------------------------------------------------------------------
 

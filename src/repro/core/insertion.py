@@ -66,11 +66,11 @@ def apply_mutation(unit: ast.TranslationUnit, mutation: ShadowMutation,
             raise GenerationError("could not insert shadow statements")
 
     if mutation.append_to_block is not None:
-        block_id, stmt = mutation.append_to_block
+        block_id, stmts = mutation.append_to_block
         block = by_id.get(block_id)
         if not isinstance(block, ast.CompoundStmt):
             raise GenerationError("target block for insertion not found")
-        block.stmts.append(stmt)
+        block.stmts.extend(stmts)
 
     source = print_program(mutated)
     if validate:

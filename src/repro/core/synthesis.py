@@ -33,7 +33,7 @@ class ShadowMutation:
     * ``augment`` — (field, aux_name) pairs: rewrite the given child field of
       the matched expression to ``<field> + aux_name`` ("__self__" augments
       the matched expression itself, used for branch conditions);
-    * ``append_to_block`` — (block_node_id, stmt) for mutations that must be
+    * ``append_to_block`` — (block_node_id, stmts) for mutations that must be
       placed inside another block (use-after-scope).
     """
 
@@ -42,7 +42,7 @@ class ShadowMutation:
     description: str
     new_stmts: List[ast.Stmt] = field(default_factory=list)
     augment: List[Tuple[str, str]] = field(default_factory=list)
-    append_to_block: Optional[Tuple[int, ast.Stmt]] = None
+    append_to_block: Optional[Tuple[int, List[ast.Stmt]]] = None
 
 
 def _aux_name(index: int = 0) -> str:
@@ -190,13 +190,29 @@ def _synth_use_after_scope(match: MatchedExpr, profile: ExecutionProfile,
     if not candidates:
         return None
     block, decl = rng.choice(candidates)
+    # The program keeps indexing through the redirected pointer with the
+    # offsets that were valid for the *original* buffer, so the dead slot
+    # must cover that whole range: declare a shadow array spanning the
+    # pointed-to object inside the chosen block and retarget the pointer to
+    # it (Table 1: "{ T tmp[n]; p = tmp; }").  Retargeting to an existing
+    # scalar would put later accesses past the dead slot's shadow granule,
+    # where ASan correctly reports a buffer overflow instead — a false
+    # negative for the use-after-scope oracle.
+    buffer = profile.q_mem(match, "pointer")
+    elem_size = max(1, target_type.sizeof())
+    span = buffer.size if buffer is not None else elem_size
+    length = max(1, -(-span // elem_size))
+    aux = _aux_name()
+    shadow_decl = ast.DeclStmt([ast.VarDecl(aux, ct.ArrayType(target_type, length))])
     assign = ast.ExprStmt(ast.Assignment(
         "=", ast.Identifier(pointer.name),
-        ast.AddressOf(ast.Identifier(decl.name))))
+        ast.AddressOf(ast.ArraySubscript(ast.Identifier(aux),
+                                         ast.IntLiteral(0)))))
     return ShadowMutation(
         match=match, ub_type=match.ub_type,
-        description=f"{pointer.name} = &{decl.name} (inner scope)",
-        append_to_block=(block.node_id, assign))
+        description=(f"{pointer.name} = &{aux}[0] "
+                     f"({target_type} [{length}] in the scope of {decl.name})"),
+        append_to_block=(block.node_id, [shadow_decl, assign]))
 
 
 def _synth_null_deref(match: MatchedExpr, profile: ExecutionProfile,

@@ -159,8 +159,19 @@ class CoverageTracker:
             import os
             package_dir = os.path.dirname(path)
             for entry in os.listdir(package_dir):
-                if entry.endswith(".py"):
-                    files.add(os.path.join(package_dir, entry))
+                if not entry.endswith(".py"):
+                    continue
+                files.add(os.path.join(package_dir, entry))
+                if entry != "__init__.py":
+                    # Pre-import every submodule so no import happens *during*
+                    # tracing: a lazy mid-trace import would credit the
+                    # module-level lines to whichever corpus compiles first,
+                    # skewing cross-corpus comparisons.
+                    import importlib
+                    try:
+                        importlib.import_module(f"{package_name}.{entry[:-3]}")
+                    except Exception:  # pragma: no cover - best-effort warm-up
+                        pass
         return files
 
     def _static_inventory(self) -> tuple[Set[Tuple[str, int]], Set[Tuple[str, int]]]:

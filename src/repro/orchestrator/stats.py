@@ -56,6 +56,11 @@ class ThroughputMonitor:
         self.emit = emit
         self._clock = clock
         self._start: Optional[float] = None
+        #: When fresh work began: restore-replay time (checkpoint loading,
+        #: corpus ingestion of already-computed batches) keeps pushing this
+        #: forward until the first freshly-executed batch is observed, so
+        #: rates and ETAs are computed from fresh work only.
+        self._fresh_start: Optional[float] = None
         self.seeds_done = 0
         self.seeds_restored = 0
         self.programs_tested = 0
@@ -65,6 +70,7 @@ class ThroughputMonitor:
 
     def start(self) -> None:
         self._start = self._clock()
+        self._fresh_start = self._start
 
     def note_restored(self, batch: SeedBatch) -> None:
         """Record a checkpoint-restored batch: campaign position advances,
@@ -73,6 +79,10 @@ class ThroughputMonitor:
         self.programs_restored += batch.programs_tested
         self.fn_candidates += sum(len(diff.fn_candidates)
                                   for diff in batch.diff_results)
+        if self.seeds_done == 0:
+            # Still replaying the checkpoint: the wall-clock consumed so far
+            # is restore overhead, not execution, so fresh work starts now.
+            self._fresh_start = self._clock()
 
     def observe(self, batch: SeedBatch) -> ThroughputSnapshot:
         """Record one completed batch; returns (and optionally emits) a snapshot."""
@@ -89,12 +99,17 @@ class ThroughputMonitor:
         return snapshot
 
     def snapshot(self) -> ThroughputSnapshot:
-        elapsed = 0.0 if self._start is None else self._clock() - self._start
-        rate = self.programs_tested / elapsed if elapsed > 0 else 0.0
+        now = self._clock()
+        elapsed = 0.0 if self._start is None else now - self._start
+        # Rate and ETA come from freshly-executed work only: measuring them
+        # against total elapsed (which includes replaying restored batches)
+        # would under-report throughput and inflate the ETA after a resume.
+        work_elapsed = 0.0 if self._fresh_start is None else now - self._fresh_start
+        rate = self.programs_tested / work_elapsed if work_elapsed > 0 else 0.0
         position = self.seeds_restored + self.seeds_done
         eta: Optional[float] = None
-        if self.seeds_done and self.seeds_total > position and elapsed > 0:
-            per_seed = elapsed / self.seeds_done
+        if self.seeds_done and self.seeds_total > position and work_elapsed > 0:
+            per_seed = work_elapsed / self.seeds_done
             eta = per_seed * (self.seeds_total - position)
         return ThroughputSnapshot(seeds_done=position,
                                   seeds_total=self.seeds_total,

@@ -5,6 +5,12 @@ initialization and reuses it for every seed index it is handed.  Because a
 seed work-item's RNG streams are derived from ``(rng_seed, seed_index)``
 (see :func:`repro.utils.rng.derive_seed`) and never from process-local
 state, any worker produces bit-identical batches for a given index.
+
+The campaign carries one process-wide
+:class:`~repro.compilers.cache.CompilationCache`, so every seed a worker
+processes shares frontend/optimizer artifacts across its differential
+configurations (cache contents never influence results — cached and
+uncached compiles are bit-identical — so sharding stays deterministic).
 """
 
 from __future__ import annotations
@@ -27,3 +33,11 @@ def run_seed_in_worker(seed_index: int) -> SeedBatch:
     if _WORKER_CAMPAIGN is None:  # pragma: no cover - defensive
         raise RuntimeError("worker process was not initialized")
     return _WORKER_CAMPAIGN.run_seed(seed_index)
+
+
+def worker_cache_stats() -> Optional[dict]:
+    """Compilation-cache statistics of this process's campaign (None until
+    the worker is initialized).  Used by diagnostics and tests."""
+    if _WORKER_CAMPAIGN is None:
+        return None
+    return _WORKER_CAMPAIGN.compilation_cache.stats()

@@ -36,6 +36,17 @@ from repro.sanitizers.base import (
 from repro.vm.errors import SanitizerReport
 from repro.vm.memory import Memory, MemoryObject
 
+#: ASan's shadow memory maps 8 application bytes to one shadow byte, so
+#: scope-exit / free poisoning covers the object's slot rounded up to the
+#: next granule boundary.  An access just past a dead object's end therefore
+#: reads the use-after-scope/use-after-free poison value, not the redzone
+#: value (cf. the paper's §2.1 shadow-memory discussion).
+SHADOW_GRANULE = 8
+
+
+def _granule_end(obj: MemoryObject) -> int:
+    return obj.base + -(-obj.size // SHADOW_GRANULE) * SHADOW_GRANULE
+
 
 class AsanPass(SanitizerPass):
     """The compile-time half of ASan."""
@@ -205,7 +216,7 @@ class AsanRuntime:
     def on_free(self, memory: Memory, obj: MemoryObject) -> None:
         if self.skip_free_poisoning:
             return
-        memory.poison(obj.base, obj.size)
+        memory.poison(obj.base, _granule_end(obj) - obj.base)
 
     def on_scope_enter(self, memory: Memory, obj: MemoryObject) -> None:
         memory.unpoison(obj.base, obj.size)
@@ -218,7 +229,7 @@ class AsanRuntime:
             if obj.oid in self._scope_exited_once:
                 return
             self._scope_exited_once.add(obj.oid)
-        memory.poison(obj.base, obj.size)
+        memory.poison(obj.base, _granule_end(obj) - obj.base)
 
     # -- checks ------------------------------------------------------------------
 
@@ -245,6 +256,13 @@ class AsanRuntime:
         if obj is not None and obj.dead:
             return rk.STACK_USE_AFTER_SCOPE
         nearest = memory.nearest_object(addr, self.redzone) if obj is None else obj
+        if (obj is None and nearest is not None and not nearest.is_live
+                and nearest.base <= addr < _granule_end(nearest)):
+            # The access lands in the granule padding of a dead/freed slot:
+            # its shadow byte carries the scope/free poison value, not the
+            # redzone value, so real ASan headlines it as a use-after.
+            return (rk.HEAP_USE_AFTER_FREE if nearest.freed
+                    else rk.STACK_USE_AFTER_SCOPE)
         if nearest is None:
             return rk.STACK_BUFFER_OVERFLOW
         return {

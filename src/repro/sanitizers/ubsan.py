@@ -28,6 +28,12 @@ from repro.sanitizers.base import (
 from repro.vm.errors import SanitizerReport
 from repro.vm.memory import Memory, MemoryObject
 
+#: Accesses below this address are reported as null dereferences, mirroring
+#: the real runtimes' treatment of the zero page.  All VM segments start at
+#: 0x1_0000 or above (:mod:`repro.vm.memory`), so only null-based pointer
+#: arithmetic lands here.
+_NULL_PAGE = 4096
+
 
 class UbsanPass(SanitizerPass):
     """The compile-time half of UBSan."""
@@ -136,6 +142,13 @@ def _instrument_expr(expr: ast.Expr, ctx: InstrumentationContext,
             detail = {"length": base_type.length,
                       "size": base_type.element.sizeof(), **flags}
             return make_check("ubsan_bounds", expr, ctx, detail)
+        if isinstance(ct.decay(base_type) if base_type else None, ct.PointerType):
+            # p[i] dereferences p just like *(p + i): it needs the same null
+            # check (-fsanitize=null instruments every access through a
+            # pointer base).
+            ctx.cover_branch("ubsan.wrap_null", True)
+            size = expr.ctype.sizeof() if expr.ctype is not None else 1
+            return make_check("ubsan_null", expr, ctx, {"size": size, **flags})
         return expr
 
     return expr
@@ -241,7 +254,11 @@ class UbsanRuntime:
     def _check_null(self, operands: dict,
                     loc: SourceLocation) -> Optional[SanitizerReport]:
         addr = operands.get("addr", 1)
-        if addr != 0:
+        # Null-page semantics, like the real runtimes: an access whose
+        # address lands in the first page is a null dereference (p[i] with a
+        # null p computes 0 + i*size, which is never exactly 0 for i > 0).
+        # Every legitimate VM segment starts far above this page.
+        if not 0 <= addr < _NULL_PAGE:
             self.ctx.cover_branch("ubsan.null_nonnull", True)
             return None
         self.ctx.cover_branch("ubsan.null_nonnull", False)

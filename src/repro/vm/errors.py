@@ -87,6 +87,10 @@ class ExecutionResult:
     ``status`` is one of ``"ok"``, ``"sanitizer_report"``, ``"timeout"`` or
     ``"vm_error"``.  ``crash_site`` is the ``(line, offset)`` of the last
     executed source site when the run aborted with a sanitizer report.
+    ``trace_truncated`` is set when ``site_trace`` hit the recording cap, in
+    which case its tail is *not* the last executed site (``executed_sites``
+    and ``crash_site`` stay complete); the crash-site oracle treats such
+    traces conservatively.
     """
 
     status: str
@@ -95,6 +99,7 @@ class ExecutionResult:
     crash_site: Optional[tuple[int, int]] = None
     executed_sites: frozenset = frozenset()
     site_trace: tuple = ()
+    trace_truncated: bool = False
     stdout: str = ""
     steps: int = 0
     error: Optional[str] = None

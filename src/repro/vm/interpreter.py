@@ -19,6 +19,7 @@ real machine:
 
 from __future__ import annotations
 
+import operator
 from typing import Callable, Dict, List, Optional, Protocol
 
 from repro.cdsl import ast_nodes as ast
@@ -109,13 +110,15 @@ class Interpreter:
                  runtime: Optional[SanitizerRuntime] = None,
                  max_steps: int = DEFAULT_MAX_STEPS,
                  profile_collector=None,
-                 site_callback: Optional[Callable[[tuple[int, int]], None]] = None) -> None:
+                 site_callback: Optional[Callable[[tuple[int, int]], None]] = None,
+                 max_trace_len: int = _MAX_TRACE_LEN) -> None:
         self.unit = unit
         self.sema = sema
         self.runtime = runtime or NullRuntime()
         self.max_steps = max_steps
         self.profile_collector = profile_collector
         self.site_callback = site_callback
+        self.max_trace_len = max_trace_len
 
         self.memory = Memory()
         self.runtime.attach(self.memory)
@@ -123,11 +126,18 @@ class Interpreter:
         self.frames: List[Frame] = []
         self._scope_stack: List[List[MemoryObject]] = []
         self._strings: Dict[int, str] = {}
+        self._string_keys: Dict[str, int] = {}
         self.stdout: List[str] = []
         self.steps = 0
         self.executed_sites: set[tuple[int, int]] = set()
         self.site_trace: List[tuple[int, int]] = []
+        self.trace_truncated = False
         self.last_site: Optional[tuple[int, int]] = None
+        # Per-run evaluator caches (precomputed values keyed by node id;
+        # node ids are unique within one translation unit and the annotated
+        # types never change during a run).
+        self._const_cache: Dict[int, RuntimeValue] = {}
+        self._binop_type_cache: Dict[int, tuple] = {}
 
         if profile_collector is not None:
             self.memory.alloc_hooks.append(profile_collector.on_alloc)
@@ -165,6 +175,7 @@ class Interpreter:
             crash_site=crash_site,
             executed_sites=frozenset(self.executed_sites),
             site_trace=tuple(self.site_trace),
+            trace_truncated=self.trace_truncated,
             stdout="".join(self.stdout), steps=self.steps, error=error)
 
     # --------------------------------------------------------------- setup
@@ -226,54 +237,63 @@ class Interpreter:
         self.steps += 1
         if self.steps > self.max_steps:
             raise ExecutionTimeout(self.max_steps)
-        if loc.is_known:
-            site = loc.site()
+        if loc.line > 0:
+            site = (loc.line, loc.col)
             self.last_site = site
             self.executed_sites.add(site)
-            if len(self.site_trace) < _MAX_TRACE_LEN:
-                self.site_trace.append(site)
+            trace = self.site_trace
+            if len(trace) < self.max_trace_len:
+                trace.append(site)
+            else:
+                self.trace_truncated = True
             if self.site_callback is not None:
                 self.site_callback(site)
 
     def _exec_stmt(self, stmt: ast.Stmt) -> None:
         self._tick(stmt.loc)
-        if isinstance(stmt, ast.CompoundStmt):
-            self._exec_compound(stmt)
-        elif isinstance(stmt, ast.DeclStmt):
-            for decl in stmt.decls:
-                self._exec_decl(decl)
-        elif isinstance(stmt, ast.ExprStmt):
-            self._eval(stmt.expr)
-        elif isinstance(stmt, ast.IfStmt):
-            cond = self._eval(stmt.cond)
-            if cond.is_true:
-                self._exec_stmt(stmt.then)
-            elif stmt.otherwise is not None:
-                self._exec_stmt(stmt.otherwise)
-        elif isinstance(stmt, ast.WhileStmt):
-            while True:
-                self._tick(stmt.loc)
-                if not self._eval(stmt.cond).is_true:
-                    break
-                try:
-                    self._exec_stmt(stmt.body)
-                except BreakSignal:
-                    break
-                except ContinueSignal:
-                    continue
-        elif isinstance(stmt, ast.ForStmt):
-            self._exec_for(stmt)
-        elif isinstance(stmt, ast.ReturnStmt):
-            value = self._eval(stmt.value) if stmt.value is not None else None
-            raise ReturnSignal(value)
-        elif isinstance(stmt, ast.BreakStmt):
-            raise BreakSignal()
-        elif isinstance(stmt, ast.ContinueStmt):
-            raise ContinueSignal()
-        elif isinstance(stmt, ast.EmptyStmt):
-            pass
-        else:
+        handler = _STMT_DISPATCH.get(stmt.__class__)
+        if handler is None:
             raise VMFault(f"cannot execute statement {type(stmt).__name__}")
+        handler(self, stmt)
+
+    def _exec_DeclStmt(self, stmt: ast.DeclStmt) -> None:
+        for decl in stmt.decls:
+            self._exec_decl(decl)
+
+    def _exec_ExprStmt(self, stmt: ast.ExprStmt) -> None:
+        self._eval(stmt.expr)
+
+    def _exec_IfStmt(self, stmt: ast.IfStmt) -> None:
+        cond = self._eval(stmt.cond)
+        if cond.is_true:
+            self._exec_stmt(stmt.then)
+        elif stmt.otherwise is not None:
+            self._exec_stmt(stmt.otherwise)
+
+    def _exec_WhileStmt(self, stmt: ast.WhileStmt) -> None:
+        while True:
+            self._tick(stmt.loc)
+            if not self._eval(stmt.cond).is_true:
+                break
+            try:
+                self._exec_stmt(stmt.body)
+            except BreakSignal:
+                break
+            except ContinueSignal:
+                continue
+
+    def _exec_ReturnStmt(self, stmt: ast.ReturnStmt) -> None:
+        value = self._eval(stmt.value) if stmt.value is not None else None
+        raise ReturnSignal(value)
+
+    def _exec_BreakStmt(self, stmt: ast.BreakStmt) -> None:
+        raise BreakSignal()
+
+    def _exec_ContinueStmt(self, stmt: ast.ContinueStmt) -> None:
+        raise ContinueSignal()
+
+    def _exec_EmptyStmt(self, stmt: ast.EmptyStmt) -> None:
+        return None
 
     def _exec_compound(self, block: ast.CompoundStmt) -> None:
         self._scope_stack.append([])
@@ -396,13 +416,19 @@ class Interpreter:
 
     def _eval(self, expr: ast.Expr) -> RuntimeValue:
         self._tick(expr.loc)
-        handler = getattr(self, f"_eval_{type(expr).__name__}", None)
+        handler = _EXPR_DISPATCH.get(expr.__class__)
         if handler is None:
             raise VMFault(f"cannot evaluate {type(expr).__name__}")
-        return handler(expr)
+        return handler(self, expr)
 
     def _eval_IntLiteral(self, expr: ast.IntLiteral) -> RuntimeValue:
-        return make_value(expr.value)
+        # RuntimeValue is immutable, so the same literal node can hand out
+        # one precomputed value for every evaluation of this run.
+        value = self._const_cache.get(expr.node_id)
+        if value is None:
+            value = make_value(expr.value)
+            self._const_cache[expr.node_id] = value
+        return value
 
     def _eval_StringLiteral(self, expr: ast.StringLiteral) -> RuntimeValue:
         # String literals are only used as printf formats; intern them as
@@ -411,15 +437,11 @@ class Interpreter:
         return make_value(key)
 
     def _intern_string(self, text: str) -> int:
-        strings = getattr(self, "_strings", None)
-        if strings is None:
-            strings = {}
-            self._strings = strings
-        for addr, existing in strings.items():
-            if existing == text:
-                return addr
-        addr = 0x7000_0000 + len(strings) * 0x100
-        strings[addr] = text
+        addr = self._string_keys.get(text)
+        if addr is None:
+            addr = 0x7000_0000 + len(self._strings) * 0x100
+            self._strings[addr] = text
+            self._string_keys[text] = addr
         return addr
 
     def _eval_Identifier(self, expr: ast.Identifier) -> RuntimeValue:
@@ -444,12 +466,20 @@ class Interpreter:
         rhs = self._eval(expr.rhs)
         return self._apply_binary(expr, op, lhs, rhs)
 
+    def _binop_types(self, expr: ast.Expr):
+        """(lhs type, rhs type, result type) of a binary node, memoized: the
+        annotated types are fixed for the duration of one run."""
+        cached = self._binop_type_cache.get(expr.node_id)
+        if cached is None:
+            cached = (_operand_type(expr, "lhs"), _operand_type(expr, "rhs"),
+                      expr.ctype if isinstance(expr.ctype, ct.IntType) else ct.INT)
+            self._binop_type_cache[expr.node_id] = cached
+        return cached
+
     def _apply_binary(self, expr: ast.Expr, op: str, lhs: RuntimeValue,
                       rhs: RuntimeValue) -> RuntimeValue:
         tainted = lhs.tainted or rhs.tainted
-        lhs_type = _operand_type(expr, "lhs")
-        rhs_type = _operand_type(expr, "rhs")
-        result_type = expr.ctype if isinstance(expr.ctype, ct.IntType) else ct.INT
+        lhs_type, rhs_type, result_type = self._binop_types(expr)
 
         # Pointer arithmetic.
         if isinstance(lhs_type, (ct.PointerType, ct.ArrayType)) and op in ("+", "-"):
@@ -464,29 +494,17 @@ class Interpreter:
             return RuntimeValue(rhs.value + lhs.value * elem, tainted)
 
         a, b = lhs.value, rhs.value
-        if op == "+":
-            raw = a + b
-        elif op == "-":
-            raw = a - b
-        elif op == "*":
-            raw = a * b
-        elif op == "/":
-            raw = _c_div(a, b)
-        elif op == "%":
-            raw = _c_mod(a, b)
-        elif op == "<<":
-            raw = a << (b % max(1, _bits_of(result_type))) if b >= 0 else a
-        elif op == ">>":
-            raw = a >> (b % max(1, _bits_of(result_type))) if b >= 0 else a
-        elif op == "&":
-            raw = a & b
-        elif op == "|":
-            raw = a | b
-        elif op == "^":
-            raw = a ^ b
-        elif op in ("==", "!=", "<", ">", "<=", ">="):
-            raw = int(_compare(op, a, b))
-            return RuntimeValue(raw, tainted)
+        func = _INT_BINOPS.get(op)
+        if func is not None:
+            raw = func(a, b)
+        elif op == "<<" or op == ">>":
+            if b >= 0:
+                bits = max(1, _bits_of(result_type))
+                raw = a << (b % bits) if op == "<<" else a >> (b % bits)
+            else:
+                raw = a
+        elif op in _COMPARE_OPS:
+            return RuntimeValue(int(_COMPARE_OPS[op](a, b)), tainted)
         else:
             raise VMFault(f"unsupported binary operator {op!r}")
         wrapped = result_type.wrap(raw) if isinstance(result_type, ct.IntType) else raw
@@ -646,64 +664,77 @@ class Interpreter:
     def _lvalue(self, expr: ast.Expr) -> tuple[int, ct.CType]:
         """Evaluate *expr* as an lvalue: return (address, object type)."""
         self._tick(expr.loc)
-        if isinstance(expr, ast.Identifier):
-            symbol = expr.symbol
-            if symbol is None:
-                raise VMFault(f"unresolved identifier {expr.name!r}")
-            obj = self._object_for(symbol)
-            return obj.base, symbol.ctype
-        if isinstance(expr, ast.Deref):
-            pointer = self._eval(expr.pointer)
-            ctype = expr.ctype or _pointee_type(expr.pointer) or ct.INT
-            return pointer.value, ctype
-        if isinstance(expr, ast.ArraySubscript):
-            base_type = ct.decay(expr.base.ctype) if expr.base.ctype else None
+        handler = _LVALUE_DISPATCH.get(expr.__class__)
+        if handler is None:
+            raise VMFault(f"expression {type(expr).__name__} is not an lvalue")
+        return handler(self, expr)
+
+    def _lvalue_Identifier(self, expr: ast.Identifier) -> tuple[int, ct.CType]:
+        symbol = expr.symbol
+        if symbol is None:
+            raise VMFault(f"unresolved identifier {expr.name!r}")
+        obj = self._object_for(symbol)
+        return obj.base, symbol.ctype
+
+    def _lvalue_Deref(self, expr: ast.Deref) -> tuple[int, ct.CType]:
+        pointer = self._eval(expr.pointer)
+        ctype = expr.ctype or _pointee_type(expr.pointer) or ct.INT
+        return pointer.value, ctype
+
+    def _lvalue_ArraySubscript(self, expr: ast.ArraySubscript) -> tuple[int, ct.CType]:
+        base_type = ct.decay(expr.base.ctype) if expr.base.ctype else None
+        base = self._eval(expr.base)
+        index = self._eval(expr.index)
+        elem = base_type.pointee if isinstance(base_type, ct.PointerType) else (expr.ctype or ct.INT)
+        return base.value + index.value * max(1, elem.sizeof()), elem
+
+    def _lvalue_MemberAccess(self, expr: ast.MemberAccess) -> tuple[int, ct.CType]:
+        if expr.arrow:
             base = self._eval(expr.base)
-            index = self._eval(expr.index)
-            elem = base_type.pointee if isinstance(base_type, ct.PointerType) else (expr.ctype or ct.INT)
-            return base.value + index.value * max(1, elem.sizeof()), elem
-        if isinstance(expr, ast.MemberAccess):
-            if expr.arrow:
-                base = self._eval(expr.base)
-                base_addr = base.value
-                struct_type = ct.decay(expr.base.ctype).pointee \
-                    if expr.base.ctype and ct.decay(expr.base.ctype).is_pointer else None
-            else:
-                base_addr, struct_type = self._lvalue(expr.base)
-            if not isinstance(struct_type, ct.StructType):
-                # Fall back to the annotated type of the member itself.
-                struct_type = None
-            field_type = expr.ctype or ct.INT
-            offset = 0
-            if isinstance(struct_type, ct.StructType):
-                field = struct_type.field_named(expr.field)
-                if field is not None:
-                    offset = field.offset
-                    field_type = field.ctype
-            return base_addr + offset, field_type
-        if isinstance(expr, ast.SanitizerCheck):
-            # Run the access check, then produce the inner lvalue.
-            addr, ctype = self._lvalue(expr.inner)
-            size = expr.detail.get("size") or (ctype.sizeof() if ctype else 1)
-            operands = {"addr": addr, "size": size,
-                        "is_write": expr.detail.get("is_write", False)}
-            if expr.kind == "ubsan_bounds":
-                operands.update(self._bounds_operands(expr))
-            self._run_check(expr, operands)
-            return addr, ctype
-        if isinstance(expr, ast.ProfileHook):
-            addr, ctype = self._lvalue(expr.inner)
-            if self.profile_collector is not None:
-                self.profile_collector.record_lvalue(expr.key, expr.inner, addr,
-                                                     ctype, self.memory)
-            return addr, ctype
-        if isinstance(expr, ast.Cast):
-            return self._lvalue(expr.operand)
-        if isinstance(expr, ast.CommaExpr) and expr.parts:
-            for part in expr.parts[:-1]:
-                self._eval(part)
-            return self._lvalue(expr.parts[-1])
-        raise VMFault(f"expression {type(expr).__name__} is not an lvalue")
+            base_addr = base.value
+            struct_type = ct.decay(expr.base.ctype).pointee \
+                if expr.base.ctype and ct.decay(expr.base.ctype).is_pointer else None
+        else:
+            base_addr, struct_type = self._lvalue(expr.base)
+        if not isinstance(struct_type, ct.StructType):
+            # Fall back to the annotated type of the member itself.
+            struct_type = None
+        field_type = expr.ctype or ct.INT
+        offset = 0
+        if isinstance(struct_type, ct.StructType):
+            field = struct_type.field_named(expr.field)
+            if field is not None:
+                offset = field.offset
+                field_type = field.ctype
+        return base_addr + offset, field_type
+
+    def _lvalue_SanitizerCheck(self, expr: ast.SanitizerCheck) -> tuple[int, ct.CType]:
+        # Run the access check, then produce the inner lvalue.
+        addr, ctype = self._lvalue(expr.inner)
+        size = expr.detail.get("size") or (ctype.sizeof() if ctype else 1)
+        operands = {"addr": addr, "size": size,
+                    "is_write": expr.detail.get("is_write", False)}
+        if expr.kind == "ubsan_bounds":
+            operands.update(self._bounds_operands(expr))
+        self._run_check(expr, operands)
+        return addr, ctype
+
+    def _lvalue_ProfileHook(self, expr: ast.ProfileHook) -> tuple[int, ct.CType]:
+        addr, ctype = self._lvalue(expr.inner)
+        if self.profile_collector is not None:
+            self.profile_collector.record_lvalue(expr.key, expr.inner, addr,
+                                                 ctype, self.memory)
+        return addr, ctype
+
+    def _lvalue_Cast(self, expr: ast.Cast) -> tuple[int, ct.CType]:
+        return self._lvalue(expr.operand)
+
+    def _lvalue_CommaExpr(self, expr: ast.CommaExpr) -> tuple[int, ct.CType]:
+        if not expr.parts:
+            raise VMFault("expression CommaExpr is not an lvalue")
+        for part in expr.parts[:-1]:
+            self._eval(part)
+        return self._lvalue(expr.parts[-1])
 
     def _bounds_operands(self, check: ast.SanitizerCheck) -> dict:
         inner = check.inner
@@ -835,17 +866,7 @@ def _c_mod(a: int, b: int) -> int:
 
 
 def _compare(op: str, a: int, b: int) -> bool:
-    if op == "==":
-        return a == b
-    if op == "!=":
-        return a != b
-    if op == "<":
-        return a < b
-    if op == ">":
-        return a > b
-    if op == "<=":
-        return a <= b
-    return a >= b
+    return bool(_COMPARE_OPS[op](a, b))
 
 
 def _format_printf(fmt: str, args: List[int]) -> str:
@@ -882,6 +903,62 @@ def _format_printf(fmt: str, args: List[int]) -> str:
             out.append(str(value))
         i = j + 1
     return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Dispatch tables (the VM fast path)
+# ---------------------------------------------------------------------------
+#
+# Statement/expression/lvalue handlers are resolved through per-node-type
+# tables built once at import time instead of isinstance chains or getattr
+# lookups per node visit.  The handlers themselves are the methods above, so
+# trace and sanitizer-hook semantics are bit-identical to the chained form
+# (guarded by the determinism tests).
+
+_INT_BINOPS: Dict[str, Callable[[int, int], int]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": _c_div,
+    "%": _c_mod,
+    "&": operator.and_,
+    "|": operator.or_,
+    "^": operator.xor,
+}
+
+_COMPARE_OPS: Dict[str, Callable[[int, int], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    ">": operator.gt,
+    "<=": operator.le,
+    ">=": operator.ge,
+}
+
+_STMT_DISPATCH: Dict[type, Callable] = {
+    ast.CompoundStmt: Interpreter._exec_compound,
+    ast.DeclStmt: Interpreter._exec_DeclStmt,
+    ast.ExprStmt: Interpreter._exec_ExprStmt,
+    ast.IfStmt: Interpreter._exec_IfStmt,
+    ast.WhileStmt: Interpreter._exec_WhileStmt,
+    ast.ForStmt: Interpreter._exec_for,
+    ast.ReturnStmt: Interpreter._exec_ReturnStmt,
+    ast.BreakStmt: Interpreter._exec_BreakStmt,
+    ast.ContinueStmt: Interpreter._exec_ContinueStmt,
+    ast.EmptyStmt: Interpreter._exec_EmptyStmt,
+}
+
+_EXPR_DISPATCH: Dict[type, Callable] = {
+    getattr(ast, name[len("_eval_"):]): handler
+    for name, handler in vars(Interpreter).items()
+    if name.startswith("_eval_") and hasattr(ast, name[len("_eval_"):])
+}
+
+_LVALUE_DISPATCH: Dict[type, Callable] = {
+    getattr(ast, name[len("_lvalue_"):]): handler
+    for name, handler in vars(Interpreter).items()
+    if name.startswith("_lvalue_") and hasattr(ast, name[len("_lvalue_"):])
+}
 
 
 def run_program(unit: ast.TranslationUnit, sema: SemanticInfo,

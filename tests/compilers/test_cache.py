@@ -1,0 +1,178 @@
+"""Tests for the shared compilation cache (phase reuse across configs)."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.compilers import CompilationCache, GccCompiler, LlvmCompiler
+from repro.core import CampaignConfig, FuzzingCampaign
+from repro.core.differential import DifferentialTester, TestConfig
+from repro.core.ub_types import ALL_UB_TYPES
+from repro.core.ubgen import UBGenerator
+from repro.seedgen import CsmithGenerator, GeneratorConfig
+
+SOURCE = """\
+int g = 3;
+int arr[4] = {1, 2, 3, 4};
+int main() {
+  int total = 0;
+  for (int i = 0; i < 4; i++) {
+    total = total + arr[i];
+  }
+  int *p = &g;
+  *p = *p + total;
+  return g;
+}
+"""
+
+
+def _other_source(i: int) -> str:
+    return SOURCE.replace("int g = 3;", f"int g = {3 + i};")
+
+
+# -- hit/miss/eviction ---------------------------------------------------------
+
+
+def test_cache_hits_and_misses_across_configurations():
+    cache = CompilationCache()
+    gcc = GccCompiler(defect_registry=[], cache=cache)
+    gcc.compile(SOURCE, opt_level="-O2", sanitizer="asan")
+    first = cache.stats()
+    # First compile: frontend miss + optimized miss, no hits.
+    assert first["misses"] == 2 and first["hits"] == 0
+    # Same (source, opt level), different sanitizer: pure hit.
+    gcc.compile(SOURCE, opt_level="-O2", sanitizer="ubsan")
+    second = cache.stats()
+    assert second["misses"] == 2 and second["hits"] == 1
+    # Same source, new opt level: frontend hit, optimized miss.
+    gcc.compile(SOURCE, opt_level="-O0", sanitizer="asan")
+    third = cache.stats()
+    assert third["misses"] == 3 and third["hits"] == 2
+
+
+def test_cache_eviction_is_bounded_and_harmless():
+    cache = CompilationCache(max_entries=2)
+    gcc = GccCompiler(defect_registry=[], cache=cache)
+    results = [gcc.compile(_other_source(i), opt_level="-O0").run()
+               for i in range(5)]
+    stats = cache.stats()
+    assert stats["frontend_entries"] <= 2
+    assert stats["optimized_entries"] <= 2
+    assert stats["evictions"] > 0
+    # Recompiling an evicted source still produces the same behaviour.
+    again = gcc.compile(_other_source(0), opt_level="-O0").run()
+    assert again == results[0]
+
+
+def test_cache_clear_resets_state():
+    cache = CompilationCache()
+    gcc = GccCompiler(defect_registry=[], cache=cache)
+    gcc.compile(SOURCE, opt_level="-O1")
+    cache.clear()
+    assert cache.stats() == {"hits": 0, "misses": 0, "frontend_entries": 0,
+                             "optimized_entries": 0, "evictions": 0}
+
+
+# -- bit-identical results -----------------------------------------------------
+
+
+@pytest.mark.parametrize("compiler_cls,sanitizers",
+                         [(GccCompiler, ("asan", "ubsan")),
+                          (LlvmCompiler, ("asan", "ubsan", "msan"))])
+def test_cached_compiles_are_bit_identical_to_uncached(compiler_cls, sanitizers):
+    cached = compiler_cls(cache=CompilationCache())
+    uncached = compiler_cls()
+    for sanitizer in (None,) + sanitizers:
+        for level in ("-O0", "-O2", "-O3"):
+            a = cached.compile(SOURCE, opt_level=level, sanitizer=sanitizer)
+            b = uncached.compile(SOURCE, opt_level=level, sanitizer=sanitizer)
+            assert a.passes_run == b.passes_run
+            assert a.run() == b.run(), (sanitizer, level)
+
+
+def test_cached_differential_matrix_matches_uncached_on_ub_program():
+    seed = CsmithGenerator(GeneratorConfig(seed=555)).generate(6)
+    program = UBGenerator(seed=1, max_programs_per_type=1).generate(
+        seed, ALL_UB_TYPES[3])[0]
+    configs = [TestConfig("llvm", sanitizer, level)
+               for sanitizer in ("asan", "ubsan", "msan")
+               for level in ("-O0", "-O2", "-O3")]
+    cached = DifferentialTester().test(program, configs=configs)
+    uncached = DifferentialTester(cache=False).test(program, configs=configs)
+    assert len(cached.outcomes) == len(uncached.outcomes) == 9
+    for a, b in zip(cached.outcomes, uncached.outcomes):
+        assert a.config == b.config
+        assert a.result == b.result
+        assert a.error == b.error
+    assert len(cached.fn_candidates) == len(uncached.fn_candidates)
+
+
+def test_parse_errors_are_not_cached_as_artifacts():
+    cache = CompilationCache()
+    gcc = GccCompiler(cache=cache)
+    from repro.utils.errors import CompilationError
+    with pytest.raises(CompilationError):
+        gcc.compile("int main( {", opt_level="-O0")
+    assert cache.stats()["frontend_entries"] == 0
+
+
+# -- concurrent sharing --------------------------------------------------------
+
+
+def test_threaded_compilers_share_one_cache_without_corruption():
+    """Workers hammering one shared cache concurrently must neither crash
+    nor change any result."""
+    cache = CompilationCache()
+    reference = {}
+    baseline = GccCompiler(defect_registry=[])
+    jobs = [(i % 3, level, sanitizer)
+            for i in range(12)
+            for level in ("-O0", "-O2")
+            for sanitizer in ("asan", "ubsan")]
+    for src_i, level, sanitizer in jobs:
+        key = (src_i, level, sanitizer)
+        if key not in reference:
+            reference[key] = baseline.compile(
+                _other_source(src_i), opt_level=level, sanitizer=sanitizer).run()
+
+    def compile_and_run(job):
+        src_i, level, sanitizer = job
+        compiler = GccCompiler(defect_registry=[], cache=cache)
+        result = compiler.compile(_other_source(src_i), opt_level=level,
+                                  sanitizer=sanitizer).run()
+        return job, result
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        for job, result in pool.map(compile_and_run, jobs):
+            src_i, level, sanitizer = job
+            assert result == reference[(src_i, level, sanitizer)]
+    assert cache.stats()["hits"] > 0
+
+
+def test_pool_worker_campaign_shares_cache_and_stays_deterministic():
+    """A worker-process campaign (cache attached) produces batches identical
+    to a cache-disabled campaign, and actually exercises the cache."""
+    from repro.orchestrator import worker
+
+    config = CampaignConfig(num_seeds=2, rng_seed=7, max_programs_per_type=1,
+                            opt_levels=("-O0", "-O2"))
+    worker.initialize_worker(config)
+    try:
+        cached_batches = [worker.run_seed_in_worker(i) for i in range(2)]
+        stats = worker.worker_cache_stats()
+        assert stats is not None and stats["hits"] > 0
+    finally:
+        worker._WORKER_CAMPAIGN = None
+
+    plain = FuzzingCampaign(config)
+    for compiler in plain.tester.compilers.values():
+        compiler.cache = None
+    for batch, index in zip(cached_batches, range(2)):
+        uncached = plain.run_seed(index)
+        assert batch.seed_index == uncached.seed_index
+        assert batch.programs_generated == uncached.programs_generated
+        assert len(batch.diff_results) == len(uncached.diff_results)
+        for a, b in zip(batch.diff_results, uncached.diff_results):
+            assert [o.result for o in a.outcomes] == [o.result for o in b.outcomes]

@@ -6,9 +6,19 @@ session-scoped so the many tests that inspect them pay for them only once.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.cdsl import analyze, parse_program
+
+# Under CI, run hypothesis derandomized so the tier-1 suite is
+# deterministic: the property tests always replay the same example corpus
+# instead of exploring fresh random inputs per run.
+settings.register_profile("ci", derandomize=True)
+if os.environ.get("CI"):
+    settings.load_profile("ci")
 from repro.compilers import GccCompiler, LlvmCompiler
 from repro.core import CampaignConfig, FuzzingCampaign, UBGenerator
 from repro.seedgen import CsmithGenerator, GeneratorConfig

@@ -142,6 +142,51 @@ def test_oracle_requires_a_crash():
     assert not verdict.is_bug
 
 
+def test_oracle_is_conservative_when_the_crash_trace_was_truncated():
+    """A truncated site trace ends at an arbitrary mid-execution site, so the
+    oracle must not use its tail as the crash site: doing so could turn an
+    optimization discrepancy into a bogus sanitizer-bug verdict."""
+    from repro.vm.errors import ExecutionResult, SanitizerReport
+    from repro.cdsl.source import UNKNOWN_LOCATION
+
+    report = SanitizerReport("asan", "stack-buffer-overflow", UNKNOWN_LOCATION)
+    site = (7, 3)
+    crashing = ExecutionResult(status="sanitizer_report", report=report,
+                               crash_site=None, site_trace=(site,),
+                               trace_truncated=True)
+    normal = ExecutionResult(status="ok", exit_code=0,
+                             executed_sites=frozenset([site]))
+    verdict = is_sanitizer_bug_from_results(crashing, normal)
+    assert not verdict.is_bug
+    assert "truncated" in verdict.reason
+    # The same pair with a complete trace is a sanitizer bug.
+    complete = ExecutionResult(status="sanitizer_report", report=report,
+                               crash_site=None, site_trace=(site,))
+    assert is_sanitizer_bug_from_results(complete, normal).is_bug
+
+
+def test_interpreter_records_trace_truncation():
+    from repro.vm.interpreter import Interpreter
+    from repro.cdsl import parse_program, analyze
+
+    source = """\
+int main() {
+  int total = 0;
+  for (int i = 0; i < 50; i++) {
+    total = total + i;
+  }
+  return total;
+}
+"""
+    unit = parse_program(source)
+    sema = analyze(unit)
+    capped = Interpreter(unit, sema, max_trace_len=10).run()
+    assert capped.trace_truncated and len(capped.site_trace) == 10
+    full = Interpreter(unit, sema).run()
+    assert not full.trace_truncated
+    assert full.site_trace[:10] == capped.site_trace
+
+
 # -- differential testing -----------------------------------------------------------------
 
 def test_default_configs_follow_table2():

@@ -130,6 +130,42 @@ def test_property_seeds_behave_identically_across_compilers_and_levels(index):
             assert observed == reference
 
 
+def test_pinned_use_after_scope_is_reported_as_use_after_scope():
+    """Regression (hypothesis example index=6, ub_index=3, csmith seed 555):
+    the injected dangling pointer used to be retargeted at a 4-byte scalar
+    while the program kept indexing with offsets valid for the original
+    28-byte buffer, so the access landed past the dead slot and ASan
+    (correctly) headlined stack-buffer-overflow — a false negative for the
+    use-after-scope oracle.  The synthesizer now plants a shadow array
+    covering the original buffer, and scope-exit poisoning/classification is
+    8-byte-granule aware, so the report must be stack-use-after-scope."""
+    ub_type = UBType.USE_AFTER_SCOPE
+    seed = CsmithGenerator(GeneratorConfig(seed=555)).generate(6)
+    programs = UBGenerator(seed=1, max_programs_per_type=1).generate(seed, ub_type)
+    assert programs, "the pinned seed must offer a use-after-scope site"
+    result = GccCompiler(defect_registry=[]).compile(
+        programs[0].source, opt_level="-O0", sanitizer="asan").run()
+    assert result.crashed, programs[0].source
+    assert result.report.kind in EXPECTED_REPORT_KINDS[ub_type]
+
+
+def test_pinned_null_deref_through_pointer_subscript_is_detected():
+    """Regression (hypothesis example index=49, ub_index=4, csmith seed 555):
+    the injected null dereference is a pointer *subscript* (``hp[i]``),
+    which UBSan's pass did not wrap in a null check at all, and whose
+    computed address ``0 + i*size`` escaped the exact ``addr == 0`` runtime
+    test.  Pointer subscripts now get the same null check as ``*p``, with
+    real-runtime zero-page semantics."""
+    ub_type = UBType.NULL_POINTER_DEREF
+    seed = CsmithGenerator(GeneratorConfig(seed=555)).generate(49)
+    programs = UBGenerator(seed=1, max_programs_per_type=1).generate(seed, ub_type)
+    assert programs, "the pinned seed must offer a null-deref site"
+    result = GccCompiler(defect_registry=[]).compile(
+        programs[0].source, opt_level="-O0", sanitizer="ubsan").run()
+    assert result.crashed, programs[0].source
+    assert result.report.kind in EXPECTED_REPORT_KINDS[ub_type]
+
+
 @settings(max_examples=4, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(index=st.integers(min_value=0, max_value=60),

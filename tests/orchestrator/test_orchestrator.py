@@ -222,6 +222,32 @@ def test_throughput_monitor_rates_and_eta():
     assert "seeds 2/2" in second.format_line()
 
 
+def test_throughput_monitor_resume_rates_ignore_restore_replay():
+    """After a resume, rate/ETA must come from freshly-executed work only:
+    the wall-clock burned replaying checkpoint-restored batches (loading,
+    corpus ingestion) is not execution throughput."""
+    # start at t=0; replaying 2 restored batches takes until t=100 (!);
+    # then each fresh seed takes 10s.
+    clock = iter([0.0, 50.0, 100.0, 110.0, 120.0]).__next__
+    monitor = ThroughputMonitor(seeds_total=4, clock=clock)
+    monitor.start()
+    monitor.note_restored(SeedBatch(seed_index=0, generated=True,
+                                    diff_results=[]))
+    monitor.note_restored(SeedBatch(seed_index=1, generated=True,
+                                    diff_results=[]))
+    first = monitor.observe(SeedBatch(seed_index=2, generated=True,
+                                      diff_results=[]))
+    # Overall campaign position includes the restored seeds ...
+    assert first.seeds_done == 3 and first.seeds_restored == 2
+    # ... but the per-seed estimate is 10s (fresh), not 110s (wall-clock),
+    # so the ETA for the one remaining seed is 10s.
+    assert first.elapsed_seconds == 110.0
+    assert first.eta_seconds == 10.0
+    second = monitor.observe(SeedBatch(seed_index=3, generated=True,
+                                       diff_results=[]))
+    assert second.seeds_done == 4 and second.eta_seconds is None
+
+
 # ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
