@@ -20,11 +20,16 @@ COMPARISON_SCALE = dict(num_seeds=4, rng_seed=7, programs_per_seed=8,
 
 def bench_print(*parts) -> None:
     """Print a line of the regenerated table/figure and append it to the
-    benchmark report file, so the results survive output capturing."""
+    benchmark report file, so the results survive output capturing.
+
+    The report is a generated artifact: it lands under ``artifacts/`` (a
+    gitignored directory CI uploads), never in the repository root."""
     import os
     print(*parts)
-    report = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir,
-                          "benchmark_report.txt")
+    artifacts = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             os.pardir, "artifacts")
+    os.makedirs(artifacts, exist_ok=True)
+    report = os.path.join(artifacts, "benchmark_report.txt")
     with open(report, "a", encoding="utf-8") as handle:
         handle.write(" ".join(str(p) for p in parts) + "\n")
 

@@ -9,7 +9,7 @@ Figure 3: both UB accesses are dead code; the optimizer removes them before
 the ASan pass runs, so the -O2 binary is silent — *not* a sanitizer bug, and
 crash-site mapping correctly filters the discrepancy out.
 
-Run:  python examples/crash_site_demo.py
+Run:  python examples/crash_site_demo.py [--smoke]
 """
 
 from repro import GccCompiler

@@ -6,8 +6,10 @@ program across compilers/sanitizers/optimization levels, applies crash-site
 mapping to each discrepancy, then triages, deduplicates and prints the found
 bugs the way the paper's Tables 3 and 6 report them.
 
-Run:  python examples/fuzzing_campaign.py           (about a minute)
+Run:  python examples/fuzzing_campaign.py [--smoke]    (about a minute)
 """
+
+import sys
 
 from repro import CampaignConfig, FuzzingCampaign
 from repro.analysis import table3_bug_status, table6_root_causes
@@ -15,13 +17,15 @@ from repro.utils.text import format_table
 
 
 def main() -> None:
+    smoke = "--smoke" in sys.argv
     config = CampaignConfig(
-        num_seeds=3,
+        num_seeds=1 if smoke else 3,
         rng_seed=7,
         max_programs_per_type=1,
-        opt_levels=("-O0", "-O1", "-O2", "-O3"),
+        opt_levels=("-O0", "-O2") if smoke else ("-O0", "-O1", "-O2", "-O3"),
     )
-    print("running the campaign (3 seeds, 4 optimization levels)...")
+    print(f"running the campaign ({config.num_seeds} seed(s), "
+          f"{len(config.opt_levels)} optimization levels)...")
     result = FuzzingCampaign(config).run()
 
     stats = result.stats

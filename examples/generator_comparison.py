@@ -5,16 +5,20 @@ Runs the UBfuzz generator, the MUSIC mutation baseline and the Csmith-NoSafe
 baseline over the same seeds, classifies every produced program with the
 sanitizers, and prints the per-UB-type counts.
 
-Run:  python examples/generator_comparison.py       (about a minute)
+Run:  python examples/generator_comparison.py [--smoke]    (about a minute)
 """
+
+import sys
 
 from repro.analysis import run_generator_comparison, table4_generator_comparison
 from repro.utils.text import format_table
 
 
 def main() -> None:
-    print("generating and classifying programs (3 seeds per generator)...")
-    comparison = run_generator_comparison(num_seeds=3, rng_seed=3,
+    num_seeds = 1 if "--smoke" in sys.argv else 3
+    print(f"generating and classifying programs ({num_seeds} seed(s) "
+          f"per generator)...")
+    comparison = run_generator_comparison(num_seeds=num_seeds, rng_seed=3,
                                           programs_per_seed=6,
                                           max_programs_per_type=2)
     headers, rows = table4_generator_comparison(comparison)

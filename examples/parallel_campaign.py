@@ -12,7 +12,7 @@ Runs the same campaign twice:
 then resumes from the checkpoint to show that a killed campaign picks up
 where it stopped.
 
-Run:  python examples/parallel_campaign.py           (about two minutes)
+Run:  python examples/parallel_campaign.py [--smoke]   (about two minutes)
 
 The same machinery is available from the shell:
 
@@ -20,6 +20,7 @@ The same machinery is available from the shell:
         --checkpoint campaign.json --corpus corpus/
 """
 
+import sys
 import tempfile
 from pathlib import Path
 
@@ -27,11 +28,13 @@ from repro import CampaignConfig, FuzzingCampaign, OrchestratedCampaign
 
 
 def main() -> None:
+    smoke = "--smoke" in sys.argv
     config = CampaignConfig(
-        num_seeds=4,
+        num_seeds=2 if smoke else 4,
         rng_seed=7,
         max_programs_per_type=1,
-        opt_levels=("-O0", "-O2", "-O3"),
+        opt_levels=("-O0", "-O2") if smoke else ("-O0", "-O2", "-O3"),
+        triage=not smoke,
     )
 
     with tempfile.TemporaryDirectory() as workdir:

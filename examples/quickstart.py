@@ -8,8 +8,10 @@ This walks the full UBfuzz workflow on one seed program:
 3. compile one UB program with a sanitizer at two optimization levels,
 4. apply the crash-site mapping oracle (Algorithm 2) to the discrepancy.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--smoke]
 """
+
+import sys
 
 from repro import (
     CsmithGenerator,
@@ -21,6 +23,7 @@ from repro.core import is_sanitizer_bug_from_results
 
 
 def main() -> None:
+    smoke = "--smoke" in sys.argv  # quickstart is already smoke-sized
     # 1. A valid, self-contained seed program.
     seed = CsmithGenerator(GeneratorConfig(seed=42)).generate(0)
     print("=== seed program (first 12 lines) ===")
@@ -37,7 +40,8 @@ def main() -> None:
             print(f"  {ub_type.value:35s} {len(programs)} program(s)")
 
     # 3. Differentially test each UB program across compilers and levels.
-    tester = DifferentialTester(opt_levels=("-O0", "-O2", "-O3"))
+    opt_levels = ("-O0", "-O2") if smoke else ("-O0", "-O2", "-O3")
+    tester = DifferentialTester(opt_levels=opt_levels)
     for ub_type, programs in by_type.items():
         for program in programs:
             result = tester.test(program)

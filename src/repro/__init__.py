@@ -13,11 +13,16 @@ This package reproduces, in pure Python, the system described in
 * :mod:`repro.seedgen`    — Csmith-like seed generator plus MUSIC / Juliet baselines;
 * :mod:`repro.core`       — the paper's contribution: shadow-statement-insertion
                             UB generation, crash-site mapping, differential
-                            testing, the fuzzing campaign, triage and reduction;
+                            testing, the fuzzing campaign and triage;
+* :mod:`repro.reduction`  — hierarchical parallel test-case reduction (the
+                            paper's C-Reduce step);
 * :mod:`repro.coverage`   — coverage measurement (Table 5);
 * :mod:`repro.analysis`   — experiment drivers and table/figure renderers;
 * :mod:`repro.orchestrator` — sharded worker-pool campaign execution with
                             corpus storage, crash dedup and checkpoint/resume.
+
+See ``docs/ARCHITECTURE.md`` for the full pipeline walk-through and
+``docs/API.md`` for the public API conventions.
 """
 
 from repro.cdsl import analyze, parse_program, print_program
@@ -52,6 +57,12 @@ from repro.orchestrator import (
     PoolExecutor,
     SerialExecutor,
 )
+from repro.reduction import (
+    HierarchicalReducer,
+    ReductionResult,
+    make_fn_bug_predicate,
+    reduce_fn_candidate,
+)
 from repro.seedgen import (
     CsmithGenerator,
     CsmithNoSafeGenerator,
@@ -72,6 +83,8 @@ __all__ = [
     "CampaignResult", "DifferentialTester", "FuzzingCampaign",
     "ProgramReducer", "TestConfig", "UBGenerator", "UBProgram", "UBType",
     "classify_discrepancy", "is_sanitizer_bug", "is_sanitizer_bug_from_results",
+    "HierarchicalReducer", "ReductionResult", "make_fn_bug_predicate",
+    "reduce_fn_candidate",
     "CorpusStore", "OrchestratedCampaign", "PoolExecutor", "SerialExecutor",
     "CsmithGenerator", "CsmithNoSafeGenerator", "GeneratorConfig",
     "MusicMutator", "SeedProgram", "generate_juliet_suite",

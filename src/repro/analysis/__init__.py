@@ -30,6 +30,7 @@ from repro.analysis.tables import (
     table4_generator_comparison,
     table5_coverage,
     table6_root_causes,
+    table_reduction_quality,
 )
 
 __all__ = [
@@ -44,4 +45,5 @@ __all__ = [
     "figure11_affected_opt_levels",
     "bug_summary_rows", "table2_sanitizer_support", "table3_bug_status",
     "table4_generator_comparison", "table5_coverage", "table6_root_causes",
+    "table_reduction_quality",
 ]

@@ -118,6 +118,24 @@ def table6_root_causes(campaign: CampaignResult) -> Table:
     return headers, rows
 
 
+def table_reduction_quality(records) -> Table:
+    """Reduction quality per crash bucket: original vs. reduced token
+    counts, predicate evaluations spent, wall-clock.
+
+    *records* is a sequence of
+    :class:`~repro.reduction.predicates.ReductionRecord` (e.g.
+    ``OrchestratedCampaign.reductions``)."""
+    headers = ["Bucket", "Orig tok", "Red tok", "Reduction", "Evals", "Seconds"]
+    rows: Rows = []
+    for record in records:
+        rows.append([record.label, record.original_tokens,
+                     record.reduced_tokens,
+                     f"{100 * record.token_reduction:.0f}%",
+                     record.predicate_evaluations,
+                     f"{record.duration_seconds:.2f}"])
+    return headers, rows
+
+
 def bug_summary_rows(reports: Sequence[BugReport]) -> Rows:
     """A flat listing of found bugs (used by examples and docs)."""
     rows: Rows = []

@@ -533,7 +533,18 @@ def _char_value(text: str) -> int:
 
 
 def parse_program(source: str) -> ast.TranslationUnit:
-    """Parse *source* into a translation unit (no semantic analysis)."""
+    """Parse C-subset *source* into a :class:`~repro.cdsl.ast_nodes.TranslationUnit`.
+
+    Only syntax is checked; run :func:`~repro.cdsl.sema.analyze` on the
+    result to resolve names and types.  Raises
+    :class:`~repro.utils.errors.ParseError` (or ``LexError``) on malformed
+    input.
+
+    Example::
+
+        unit = parse_program("int main() { return 0; }")
+        unit.function_named("main")  # -> FunctionDecl
+    """
     return Parser(source).parse_translation_unit()
 
 

@@ -283,7 +283,12 @@ _DEFAULT_PRINTER = Printer()
 
 
 def print_program(unit: ast.TranslationUnit) -> str:
-    """Print a translation unit using the default printer settings."""
+    """Render a translation unit back to compilable C-subset source.
+
+    The output is stable: ``print_program(parse_program(s))`` is a fixed
+    point, which the UB generator and the test-case reducer rely on when
+    they re-parse their own output.
+    """
     return _DEFAULT_PRINTER.print_unit(unit)
 
 

@@ -377,5 +377,12 @@ def _literal_type(literal: ast.IntLiteral) -> ct.CType:
 
 
 def analyze(unit: ast.TranslationUnit) -> SemanticInfo:
-    """Run semantic analysis, annotating the AST in place."""
+    """Run semantic analysis over *unit*, annotating the AST in place.
+
+    Resolves every identifier to a symbol, types every expression
+    (``expr.ctype``) and assigns scope ids to compound statements.  Returns
+    the :class:`SemanticInfo` summary; raises
+    :class:`~repro.utils.errors.SemaError` on undeclared names, bad types
+    and the like.  Must run before a unit is interpreted or optimized.
+    """
     return Sema(unit).analyze()

@@ -22,7 +22,13 @@ from repro.vm.interpreter import DEFAULT_MAX_STEPS, Interpreter
 
 @dataclass
 class CompiledBinary:
-    """A compiled program plus everything needed to execute it."""
+    """A compiled program plus everything needed to execute it.
+
+    Produced by ``SimulatedCompiler.compile``; ``run(max_steps=...)``
+    interprets the instrumented AST on the VM and returns an
+    :class:`~repro.vm.errors.ExecutionResult` (exit code or sanitizer
+    report plus execution trace).
+    """
 
     unit: ast.TranslationUnit
     sema: SemanticInfo

@@ -173,13 +173,23 @@ class SimulatedCompiler:
 
 
 class GccCompiler(SimulatedCompiler):
-    """The simulated GCC: supports ASan and UBSan (no MSan, §4.1)."""
+    """The simulated GCC driver: supports ASan and UBSan (no MSan, §4.1).
+
+    Constructor arguments match :func:`make_compiler` (``version``,
+    ``defect_registry``, ``coverage``, ``cache``).  ``compile(source,
+    opt_level=..., sanitizer=...)`` returns a
+    :class:`~repro.compilers.binary.CompiledBinary`.
+    """
 
     name = "gcc"
 
 
 class LlvmCompiler(SimulatedCompiler):
-    """The simulated LLVM/Clang: supports ASan, UBSan and MSan."""
+    """The simulated LLVM/Clang driver: supports ASan, UBSan and MSan.
+
+    Same interface as :class:`GccCompiler`; the two differ in optimizer
+    pipeline, sanitizer support (Table 2) and seeded defect registries.
+    """
 
     name = "llvm"
 
@@ -191,7 +201,21 @@ def make_compiler(name: str, version: Optional[int] = None,
                   defect_registry: Optional[Sequence] = None,
                   coverage=None,
                   cache: Optional[CompilationCache] = None) -> SimulatedCompiler:
-    """Factory: build a compiler by name ("gcc" or "llvm")."""
+    """Build a simulated compiler by name.
+
+    Args:
+        name: ``"gcc"`` or ``"llvm"`` (raises ``KeyError`` otherwise).
+        version: simulated release; defaults to the trunk version.
+        defect_registry: seeded sanitizer defects ([] = a correct compiler).
+        coverage: optional coverage tracker (Table 5 experiments).
+        cache: a shared :class:`~repro.compilers.cache.CompilationCache`.
+
+    Example::
+
+        compiler = make_compiler("gcc", defect_registry=[])
+        result = compiler.compile("int main() { return 0; }",
+                                  opt_level="-O2", sanitizer="asan").run()
+    """
     try:
         cls = _COMPILER_CLASSES[name]
     except KeyError as exc:

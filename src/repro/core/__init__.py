@@ -29,7 +29,8 @@ from repro.core.fuzzer import (CampaignConfig, CampaignResult, CampaignStats,
 from repro.core.insertion import UBProgram, apply_mutation
 from repro.core.matching import MatchedExpr, get_matched_exprs
 from repro.core.profile import ExecutionProfile, Profiler
-from repro.core.reducer import ProgramReducer, ReductionResult, make_fn_bug_predicate
+from repro.core.reducer import (HierarchicalReducer, ProgramReducer,
+                                ReductionResult, make_fn_bug_predicate)
 from repro.core.synthesis import ShadowMutation, synthesize
 from repro.core.ub_types import (
     ALL_UB_TYPES,
@@ -55,7 +56,8 @@ __all__ = [
     "UBProgram", "apply_mutation",
     "MatchedExpr", "get_matched_exprs",
     "ExecutionProfile", "Profiler",
-    "ProgramReducer", "ReductionResult", "make_fn_bug_predicate",
+    "HierarchicalReducer", "ProgramReducer", "ReductionResult",
+    "make_fn_bug_predicate",
     "ShadowMutation", "synthesize",
     "ALL_UB_TYPES", "EXPECTED_REPORT_KINDS", "SANITIZERS_FOR_UB", "UBType",
     "detects", "sanitizers_for", "ub_type_of_report", "ub_types_for_sanitizer",

@@ -39,6 +39,16 @@ class OracleVerdict:
         return self.is_bug
 
 
+def format_crash_site(crash_site: Optional[tuple]) -> str:
+    """Canonical string form of a crash site: ``"line:col"`` or ``"?"``.
+
+    The single spelling used everywhere a site becomes part of an
+    identifier — corpus dedup bucket keys, reduction records, report
+    labels — so the producers and consumers can never drift apart.
+    """
+    return f"{crash_site[0]}:{crash_site[1]}" if crash_site else "?"
+
+
 def is_sanitizer_bug(crashing_binary, normal_binary) -> bool:
     """Algorithm 2, literally: debug both binaries and map the crash site."""
     crash_sites = get_executed_sites(crashing_binary)

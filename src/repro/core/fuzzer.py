@@ -42,7 +42,15 @@ from repro.utils.errors import GenerationError
 
 @dataclass
 class CampaignConfig:
-    """Scale and behaviour knobs for one fuzzing campaign."""
+    """Scale and behaviour knobs for one fuzzing campaign.
+
+    The campaign is a pure function of this config: ``num_seeds`` seeds are
+    derived from ``rng_seed``, mutated into at most
+    ``max_programs_per_type`` UB programs per type, differentially tested
+    over ``compilers`` × ``opt_levels``, and (with ``triage=True``) the
+    resulting candidates are triaged and deduplicated into bug reports —
+    after reduction to minimal reproducers when ``reduce=True``.
+    """
 
     num_seeds: int = 10
     rng_seed: int = 0
@@ -52,6 +60,14 @@ class CampaignConfig:
     max_programs_per_type: Optional[int] = 2
     max_programs_total: Optional[int] = None
     triage: bool = True
+    #: Reduce each triaged FN candidate to a minimal reproducer before
+    #: bisection/dedup (see :mod:`repro.reduction`); ``reduce_jobs`` fans
+    #: candidate evaluation out over worker processes.  This triage-time
+    #: knob is independent of ``OrchestratedCampaign(reduce=True)``, which
+    #: instead reduces one representative per corpus crash bucket after the
+    #: merge; enabling both reduces bucket representatives twice.
+    reduce: bool = False
+    reduce_jobs: int = 1
     defect_registry: Optional[Sequence[Defect]] = None
     max_steps: int = 150_000
 
@@ -75,7 +91,12 @@ class CampaignStats:
 
 @dataclass
 class CampaignResult:
-    """Everything a campaign produced."""
+    """Everything a campaign produced: stats, candidates and bug reports.
+
+    ``bug_reports`` holds the deduplicated, triaged reports; the raw
+    ``fn_candidates`` / ``wrong_report_candidates`` and per-program
+    ``differential_results`` feed the analysis layer (Tables 3-6).
+    """
 
     config: CampaignConfig
     stats: CampaignStats
@@ -153,7 +174,9 @@ class FuzzingCampaign:
                                          cache=self.compilation_cache)
         self.triager = BugTriager(registry=registry,
                                   max_steps=self.config.max_steps,
-                                  compilation_cache=self.compilation_cache)
+                                  compilation_cache=self.compilation_cache,
+                                  reduce=self.config.reduce,
+                                  reduce_jobs=self.config.reduce_jobs)
 
     # -- public ---------------------------------------------------------------------
 

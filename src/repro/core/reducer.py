@@ -1,134 +1,16 @@
-"""Test-case reduction (the paper uses C-Reduce before reporting bugs).
+"""Backward-compatible alias of :mod:`repro.reduction`.
 
-A simple delta-debugging reducer over statements and top-level declarations:
-repeatedly try removing program elements while a caller-supplied predicate
-("the reduced program still triggers the same sanitizer FN bug") keeps
-holding.  The default predicate re-runs the differential test for the bug's
-detecting and missing configurations and re-applies crash-site mapping.
+The test-case reducer grew into its own package (hierarchical multi-pass
+reduction with parallel candidate evaluation); this module keeps the
+historical import path ``repro.core.reducer`` working.
 """
 
-from __future__ import annotations
+from repro.reduction import (
+    HierarchicalReducer,
+    ProgramReducer,
+    ReductionResult,
+    make_fn_bug_predicate,
+)
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional
-
-from repro.cdsl import ast_nodes as ast
-from repro.cdsl.parser import parse_program
-from repro.cdsl.printer import print_program
-from repro.cdsl.sema import analyze
-from repro.cdsl.visitor import clone, find_nodes
-from repro.core.crash_site import is_sanitizer_bug_from_results
-from repro.core.differential import DifferentialTester, TestConfig
-from repro.core.insertion import UBProgram
-from repro.core.ub_types import detects
-
-Predicate = Callable[[str], bool]
-
-
-@dataclass
-class ReductionResult:
-    """Outcome of one reduction: the final source and some counters."""
-
-    original_source: str
-    reduced_source: str
-    attempts: int
-    removed_statements: int
-
-    @property
-    def reduction_ratio(self) -> float:
-        before = max(1, len(self.original_source.splitlines()))
-        after = len(self.reduced_source.splitlines())
-        return 1.0 - after / before
-
-
-class ProgramReducer:
-    """Greedy statement-level delta debugging."""
-
-    def __init__(self, predicate: Predicate, max_rounds: int = 6) -> None:
-        self.predicate = predicate
-        self.max_rounds = max_rounds
-
-    def reduce(self, source: str) -> ReductionResult:
-        attempts = 0
-        removed = 0
-        current = source
-        for _ in range(self.max_rounds):
-            progress = False
-            candidates = self._removal_candidates(current)
-            for candidate in candidates:
-                attempts += 1
-                if not self._is_valid(candidate):
-                    continue
-                if self.predicate(candidate):
-                    current = candidate
-                    removed += 1
-                    progress = True
-                    break  # recompute candidates against the smaller program
-            if not progress:
-                break
-        return ReductionResult(original_source=source, reduced_source=current,
-                               attempts=attempts, removed_statements=removed)
-
-    # -- candidate generation ---------------------------------------------------------
-
-    def _removal_candidates(self, source: str) -> List[str]:
-        """All programs obtained by deleting one statement or declaration."""
-        try:
-            unit = parse_program(source)
-        except Exception:
-            return []
-        candidates: List[str] = []
-        blocks = find_nodes(unit, ast.CompoundStmt)
-        for block_index, block in enumerate(blocks):
-            for stmt_index in range(len(block.stmts)):
-                mutated = clone(unit)
-                mutated_blocks = find_nodes(mutated, ast.CompoundStmt)
-                target = mutated_blocks[block_index]
-                if isinstance(target.stmts[stmt_index], ast.ReturnStmt):
-                    continue
-                del target.stmts[stmt_index]
-                candidates.append(print_program(mutated))
-        # Also try dropping whole top-level declarations (globals, functions).
-        for decl_index, decl in enumerate(unit.decls):
-            if isinstance(decl, ast.FunctionDecl) and decl.name == "main":
-                continue
-            mutated = clone(unit)
-            del mutated.decls[decl_index]
-            candidates.append(print_program(mutated))
-        return candidates
-
-    @staticmethod
-    def _is_valid(source: str) -> bool:
-        try:
-            unit = parse_program(source)
-            analyze(unit)
-        except Exception:
-            return False
-        return True
-
-
-def make_fn_bug_predicate(program: UBProgram, detecting: TestConfig,
-                          missing: TestConfig,
-                          tester: Optional[DifferentialTester] = None) -> Predicate:
-    """Build the "still triggers this FN bug" predicate for reduction."""
-    tester = tester or DifferentialTester()
-
-    def predicate(source: str) -> bool:
-        candidate = UBProgram(source=source, ub_type=program.ub_type,
-                              seed_index=program.seed_index,
-                              description=program.description)
-        detecting_outcome = tester.run_config(candidate, detecting)
-        missing_outcome = tester.run_config(candidate, missing)
-        if detecting_outcome.result is None or missing_outcome.result is None:
-            return False
-        if not detecting_outcome.detected:
-            return False
-        if not detects(program.ub_type, detecting_outcome.result.report.kind):
-            return False
-        if not missing_outcome.result.exited_normally:
-            return False
-        verdict = is_sanitizer_bug_from_results(detecting_outcome.result,
-                                                missing_outcome.result)
-        return verdict.is_bug
-
-    return predicate
+__all__ = ["HierarchicalReducer", "ProgramReducer", "ReductionResult",
+           "make_fn_bug_predicate"]

@@ -15,7 +15,12 @@ from repro.sanitizers import report as rk
 
 
 class UBType(str, Enum):
-    """The nine UB types supported by the generator (Table 1)."""
+    """The nine UB types supported by the generator (the paper's Table 1).
+
+    Values are kebab-case strings (``UBType("use-after-free")`` round-trips
+    through JSON); ``display_name`` gives the paper's spelling and
+    :func:`sanitizers_for` the sanitizers able to detect each type.
+    """
 
     BUFFER_OVERFLOW_ARRAY = "buffer-overflow-array"
     BUFFER_OVERFLOW_POINTER = "buffer-overflow-pointer"

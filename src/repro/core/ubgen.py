@@ -45,7 +45,19 @@ class GenerationStats:
 
 
 class UBGenerator:
-    """Generates UB programs from seed programs (paper Algorithm 1)."""
+    """Shadow-statement-insertion UB generator (the paper's Algorithm 1).
+
+    Args:
+        seed: master RNG seed; generation is a pure function of
+            ``(seed, seed program, UB types)``.
+        max_programs_per_type: cap on UB programs per (seed, UB type).
+        profiler: execution profiler used to pick mutation sites.
+
+    Example::
+
+        programs = UBGenerator(seed=1).generate(seed_program,
+                                                UBType.USE_AFTER_FREE)
+    """
 
     def __init__(self, seed: int = 0, max_programs_per_type: Optional[int] = None,
                  profiler: Optional[Profiler] = None) -> None:

@@ -17,7 +17,7 @@ work-items over any number of processes merges into the same campaign.
 
 from repro.orchestrator.campaign import OrchestratedCampaign
 from repro.orchestrator.checkpoint import CampaignCheckpoint, CheckpointMismatch
-from repro.orchestrator.corpus import CorpusStore, CrashBucket
+from repro.orchestrator.corpus import CorpusStore, CrashBucket, bucket_key_for
 from repro.orchestrator.executor import (
     Executor,
     PoolExecutor,
@@ -34,7 +34,7 @@ from repro.orchestrator.stats import ThroughputMonitor, ThroughputSnapshot
 __all__ = [
     "OrchestratedCampaign",
     "CampaignCheckpoint", "CheckpointMismatch",
-    "CorpusStore", "CrashBucket",
+    "CorpusStore", "CrashBucket", "bucket_key_for",
     "Executor", "PoolExecutor", "SerialExecutor", "make_executor",
     "batch_from_record", "batch_to_record", "config_fingerprint",
     "ThroughputMonitor", "ThroughputSnapshot",

@@ -11,13 +11,21 @@ with the production machinery the serial loop lacks:
   the same deduplicated bug reports as an uninterrupted one;
 * **corpus store + crash dedup** — every tested program and every FN-bug
   candidate is recorded, bucketed by (UB type, crash site, sanitizer);
+* **crash reduction** — with ``reduce=True`` each dedup bucket's
+  representative program is shrunk to a minimal reproducer after the merge
+  (``reduce_jobs`` fans candidate evaluation out over processes) and the
+  result is persisted as ``reduced/<bucket>.c`` in the corpus; resumed
+  campaigns restore already-reduced buckets instead of re-reducing them.
+  (The separate triage-time knob ``CampaignConfig.reduce`` shrinks every
+  candidate before defect bisection — see its docstring.);
 * **live stats** — throughput and ETA stream through a
   :class:`~repro.orchestrator.stats.ThroughputMonitor`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, Optional, Union
+import os
+from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from repro.core.fuzzer import (
     CampaignConfig,
@@ -26,9 +34,15 @@ from repro.core.fuzzer import (
     SeedBatch,
 )
 from repro.orchestrator.checkpoint import CampaignCheckpoint
-from repro.orchestrator.corpus import CorpusStore
+from repro.orchestrator.corpus import (
+    BucketKey,
+    CorpusStore,
+    bucket_key_for,
+    bucket_slug,
+)
 from repro.orchestrator.executor import Executor, make_executor
 from repro.orchestrator.stats import ThroughputMonitor
+from repro.reduction import ReductionRecord, record_for, reduce_fn_candidate
 
 
 class OrchestratedCampaign:
@@ -46,7 +60,9 @@ class OrchestratedCampaign:
                  checkpoint_interval: int = 1,
                  corpus: Union[CorpusStore, str, None] = None,
                  progress: Optional[Callable[[str], None]] = None,
-                 max_seeds_per_session: Optional[int] = None) -> None:
+                 max_seeds_per_session: Optional[int] = None,
+                 reduce: bool = False,
+                 reduce_jobs: int = 1) -> None:
         self.config = config or CampaignConfig()
         self.executor = executor if executor is not None else make_executor(workers)
         self.checkpoint = (CampaignCheckpoint(checkpoint_path, self.config,
@@ -57,10 +73,14 @@ class OrchestratedCampaign:
         self.corpus = corpus
         self.progress = progress
         self.max_seeds_per_session = max_seeds_per_session
+        self.reduce = reduce
+        self.reduce_jobs = reduce_jobs
         #: Populated by run(); exposes live throughput/ETA while running.
         self.monitor: Optional[ThroughputMonitor] = None
         #: Seed indices restored from the checkpoint on the last run().
         self.resumed_indices: list[int] = []
+        #: Per-bucket reduction records from the last run() (``reduce=True``).
+        self.reductions: List[ReductionRecord] = []
 
     # -- public ----------------------------------------------------------------
 
@@ -76,9 +96,83 @@ class OrchestratedCampaign:
             pending = pending[:self.max_seeds_per_session]
         self.monitor = ThroughputMonitor(self.config.num_seeds, emit=self.progress)
         self.monitor.start()
-        return campaign.collect(self._merged_batches(completed, pending))
+        result = campaign.collect(self._merged_batches(completed, pending))
+        if self.reduce:
+            self.reductions = self._reduce_buckets(campaign, result)
+            if self.corpus is not None:
+                self.corpus.flush()
+        return result
 
     # -- internals --------------------------------------------------------------
+
+    def _reduce_buckets(self, campaign: FuzzingCampaign,
+                        result: CampaignResult) -> List[ReductionRecord]:
+        """Shrink one representative FN candidate per dedup bucket.
+
+        Candidates are visited in campaign order, so the representative of
+        each (UB type, crash site, sanitizer) bucket — and with it the
+        reduced reproducer — is identical for serial and parallel runs.
+        The campaign's own differential tester (and compilation cache)
+        evaluates candidates when ``reduce_jobs == 1``; pool workers build
+        their own caches.  Buckets whose corpus record already carries a
+        reduction (a resumed or session-batched campaign) are restored, not
+        re-reduced — reduction is the dominant per-bucket cost.
+        """
+        records: List[ReductionRecord] = []
+        seen: set = set()
+        for candidate in result.fn_candidates:
+            key: BucketKey = bucket_key_for(candidate)
+            if key in seen:
+                continue
+            seen.add(key)
+            restored = self._restored_reduction(key)
+            if restored is not None:
+                records.append(restored)
+                continue
+            reduced, reduction = reduce_fn_candidate(candidate,
+                                                     tester=campaign.tester,
+                                                     jobs=self.reduce_jobs)
+            record = record_for(bucket_slug(key), candidate, reduction)
+            records.append(record)
+            if self.corpus is not None and key in self.corpus.buckets:
+                self.corpus.record_reduction(key, reduction.reduced_source,
+                                             stats=record.to_json())
+            if self.progress is not None:
+                self.progress(f"reduced {record.label}: "
+                              f"{record.original_tokens} -> "
+                              f"{record.reduced_tokens} tokens "
+                              f"({record.token_reduction:.0%})")
+        return records
+
+    def _restored_reduction(self, key: BucketKey) -> Optional[ReductionRecord]:
+        """Rebuild the record of an already-reduced bucket from the corpus."""
+        if self.corpus is None:
+            return None
+        bucket = self.corpus.buckets.get(key)
+        if bucket is None or not bucket.reduction:
+            return None
+        stats = bucket.reduction
+        source = stats.get("source")
+        if source is None and self.corpus.root is not None \
+                and stats.get("path"):
+            try:
+                with open(os.path.join(self.corpus.root, stats["path"]),
+                          encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError:
+                return None
+        try:
+            return ReductionRecord(
+                label=stats.get("label", bucket.slug),
+                ub_type=bucket.ub_type, crash_site=bucket.crash_site,
+                sanitizer=bucket.sanitizer,
+                original_tokens=stats["original_tokens"],
+                reduced_tokens=stats["reduced_tokens"],
+                predicate_evaluations=stats["predicate_evaluations"],
+                duration_seconds=stats["duration_seconds"],
+                reduced_source=source if source is not None else "")
+        except KeyError:
+            return None
 
     def _merged_batches(self, completed: Dict[int, SeedBatch],
                         pending: list[int]) -> Iterator[SeedBatch]:

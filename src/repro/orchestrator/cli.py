@@ -45,6 +45,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stop after this many UB programs overall")
     parser.add_argument("--no-triage", action="store_true",
                         help="skip defect triage (candidates only, faster)")
+    parser.add_argument("--reduce", action="store_true",
+                        help="reduce one representative crash per dedup "
+                             "bucket to a minimal reproducer (written to "
+                             "the corpus as reduced/<bucket>.c)")
+    parser.add_argument("--reduce-jobs", type=int, default=1, metavar="N",
+                        help="worker processes for reduction candidate "
+                             "evaluation (default: 1 = serial; any N "
+                             "produces the identical reduced program)")
     parser.add_argument("--checkpoint", default=None, metavar="PATH",
                         help="JSON snapshot to write/resume from")
     parser.add_argument("--checkpoint-interval", type=int, default=1,
@@ -135,7 +143,9 @@ def _run(args: argparse.Namespace) -> int:
         checkpoint_interval=args.checkpoint_interval,
         corpus=args.corpus,
         progress=progress,
-        max_seeds_per_session=args.max_seeds_per_session)
+        max_seeds_per_session=args.max_seeds_per_session,
+        reduce=args.reduce,
+        reduce_jobs=args.reduce_jobs)
     try:
         result = orchestrated.run()
     except CheckpointMismatch as exc:
@@ -170,6 +180,9 @@ def _run(args: argparse.Namespace) -> int:
         summary["corpus"] = {"programs": corpus_summary["programs"],
                              "crashes": corpus_summary["crashes"],
                              "unique_crashes": corpus_summary["unique_crashes"]}
+    if orchestrated.reductions:
+        summary["reductions"] = [record.to_json()
+                                 for record in orchestrated.reductions]
 
     if args.as_json:
         print(json.dumps(summary, indent=2))
@@ -190,6 +203,13 @@ def _run(args: argparse.Namespace) -> int:
               f"{corpus['unique_crashes']} dedup buckets")
     print(f"wall-clock            : {summary['duration_seconds']}s "
           f"({summary['workers']} worker(s))")
+    if orchestrated.reductions:
+        from repro.analysis.tables import table_reduction_quality
+        from repro.utils.text import format_table
+        headers, rows = table_reduction_quality(orchestrated.reductions)
+        print("reduced reproducers   :")
+        for line in format_table(headers, rows).splitlines():
+            print(f"  {line}")
     print(f"distinct bugs         : {len(summary['bug_reports'])}")
     for report in summary["bug_reports"]:
         levels = ", ".join(report["affected_opt_levels"]) or "-"

@@ -21,11 +21,34 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.crash_site import format_crash_site
 from repro.core.fuzzer import SeedBatch
 from repro.utils.io import atomic_write_json
 
 #: A dedup bucket key: (ub_type value, crash site "line:col" or "?", sanitizer).
 BucketKey = Tuple[str, str, str]
+
+
+def bucket_key_for(candidate) -> BucketKey:
+    """The dedup bucket key of one FN-bug candidate.
+
+    The single definition shared by ingestion, per-bucket reduction and the
+    examples — the three must agree or reduced reproducers would silently
+    stop matching their buckets."""
+    return (candidate.program.ub_type.value,
+            format_crash_site(candidate.crash_site),
+            candidate.missing.config.sanitizer)
+
+
+def bucket_slug(key: BucketKey) -> str:
+    """Filesystem-safe bucket name, e.g. ``divide-by-zero-7_3-ubsan``.
+
+    Used both for ``reduced/<slug>.c`` filenames and for the labels shown
+    in progress lines and the reduction-quality table, so a reported label
+    always greps to its corpus file."""
+    ub_type, site, sanitizer = key
+    site = site.replace(":", "_").replace("?", "unknown")
+    return f"{ub_type}-{site}-{sanitizer}"
 
 
 @dataclass
@@ -38,15 +61,27 @@ class CrashBucket:
     count: int = 0
     program_ids: List[str] = field(default_factory=list)
     configs: List[str] = field(default_factory=list)
+    #: Reduction stats (original/reduced token counts, predicate
+    #: evaluations, wall-clock) once the bucket's representative program has
+    #: been shrunk to a minimal reproducer.
+    reduction: Optional[dict] = None
 
     @property
     def key(self) -> BucketKey:
         return (self.ub_type, self.crash_site, self.sanitizer)
 
+    @property
+    def slug(self) -> str:
+        """Filesystem-safe bucket name (see :func:`bucket_slug`)."""
+        return bucket_slug(self.key)
+
     def to_json(self) -> dict:
-        return {"ub_type": self.ub_type, "crash_site": self.crash_site,
-                "sanitizer": self.sanitizer, "count": self.count,
-                "program_ids": self.program_ids, "configs": self.configs}
+        record = {"ub_type": self.ub_type, "crash_site": self.crash_site,
+                  "sanitizer": self.sanitizer, "count": self.count,
+                  "program_ids": self.program_ids, "configs": self.configs}
+        if self.reduction is not None:
+            record["reduction"] = self.reduction
+        return record
 
     @staticmethod
     def from_json(record: dict) -> "CrashBucket":
@@ -55,7 +90,8 @@ class CrashBucket:
                            sanitizer=record["sanitizer"],
                            count=record["count"],
                            program_ids=list(record["program_ids"]),
-                           configs=list(record["configs"]))
+                           configs=list(record["configs"]),
+                           reduction=record.get("reduction"))
 
 
 class CorpusStore:
@@ -99,16 +135,14 @@ class CorpusStore:
             if self.root is not None:
                 self._write_program(program_id, diff.program.source)
             for candidate in diff.fn_candidates:
-                if self._add_crash(program_id, diff.program.ub_type.value,
-                                   candidate.crash_site,
+                if self._add_crash(program_id, bucket_key_for(candidate),
                                    candidate.missing.config):
                     new_buckets += 1
         return new_buckets
 
-    def _add_crash(self, program_id: str, ub_type: str,
-                   crash_site: Optional[tuple], missing_config) -> bool:
-        site = f"{crash_site[0]}:{crash_site[1]}" if crash_site else "?"
-        key: BucketKey = (ub_type, site, missing_config.sanitizer)
+    def _add_crash(self, program_id: str, key: BucketKey,
+                   missing_config) -> bool:
+        ub_type, site, _ = key
         bucket = self.buckets.get(key)
         is_new = bucket is None
         if bucket is None:
@@ -122,6 +156,31 @@ class CorpusStore:
         if label not in bucket.configs:
             bucket.configs.append(label)
         return is_new
+
+    # -- reduction -------------------------------------------------------------
+
+    def record_reduction(self, key: BucketKey, reduced_source: str,
+                         stats: Optional[dict] = None) -> Optional[str]:
+        """Attach a reduced reproducer to one crash bucket.
+
+        Persistent stores write it as ``<root>/reduced/<bucket-slug>.c``
+        next to the bucket's programs; the stats land in the bucket's index
+        record either way.  Returns the written path (None in memory)."""
+        bucket = self.buckets.get(key)
+        if bucket is None:
+            raise KeyError(f"no crash bucket {key!r}")
+        bucket.reduction = dict(stats or {})
+        if self.root is None:
+            bucket.reduction.setdefault("source", reduced_source)
+            return None
+        directory = os.path.join(self.root, "reduced")
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, bucket.slug + ".c")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(reduced_source)
+        bucket.reduction.setdefault("path", os.path.join("reduced",
+                                                         bucket.slug + ".c"))
+        return path
 
     # -- queries ---------------------------------------------------------------
 

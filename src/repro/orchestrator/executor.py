@@ -29,7 +29,11 @@ class Executor:
 
 
 class SerialExecutor(Executor):
-    """Runs every seed in the calling process, lazily."""
+    """Runs every seed work-item lazily in the calling process.
+
+    The reference executor: :class:`PoolExecutor` must merge to exactly the
+    campaign this one produces for the same config.
+    """
 
     def map_seeds(self, config: CampaignConfig,
                   seed_indices: Sequence[int]) -> Iterator[SeedBatch]:

@@ -1,0 +1,124 @@
+"""Candidate evaluation — serial in-process or fanned out over a pool.
+
+The reducer asks one question per reduction step: *which is the first
+candidate (in deterministic order) the interestingness predicate accepts?*
+:class:`SerialEvaluator` answers it by short-circuiting; :class:`PoolEvaluator`
+evaluates candidates in ordered chunks across a :mod:`multiprocessing` pool
+and still returns the first accepted index, so the candidate a parallel
+reduction applies is exactly the one a serial reduction would have applied.
+
+Predicates are built per process from a zero-argument *factory*: each pool
+worker calls the factory once at start-up and keeps the resulting predicate
+(and therefore its :class:`~repro.compilers.cache.CompilationCache`-backed
+:class:`~repro.core.differential.DifferentialTester`) for its whole life.
+Like the campaign executors, the ``fork`` start method is preferred, which
+lets factories close over arbitrary objects without pickling.
+
+Predicates must be pure functions of the candidate source: the pool path
+may evaluate candidates the serial path would have skipped, and both must
+agree on every answer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Optional, Sequence
+
+Predicate = Callable[[str], bool]
+PredicateFactory = Callable[[], Predicate]
+
+
+class SerialEvaluator:
+    """Evaluates candidates in order in the calling process."""
+
+    jobs = 1
+
+    def __init__(self, factory: PredicateFactory) -> None:
+        self._factory = factory
+        self._predicate: Optional[Predicate] = None
+        self.evaluations = 0
+
+    def first_accepted(self, sources: Sequence[str]) -> Optional[int]:
+        if self._predicate is None:
+            self._predicate = self._factory()
+        for index, source in enumerate(sources):
+            self.evaluations += 1
+            if self._predicate(source):
+                return index
+        return None
+
+    def close(self) -> None:
+        pass
+
+
+_worker_predicate: Optional[Predicate] = None
+
+
+def _initialize_worker(factory: PredicateFactory) -> None:
+    global _worker_predicate
+    _worker_predicate = factory()
+
+
+def _evaluate_in_worker(source: str) -> bool:
+    assert _worker_predicate is not None
+    return _worker_predicate(source)
+
+
+class PoolEvaluator:
+    """Evaluates candidates across a worker pool, in ordered chunks.
+
+    Within a chunk every candidate is evaluated concurrently; chunks are
+    consumed in order and the scan stops at the first chunk containing an
+    accepted candidate.  The returned index is therefore identical to the
+    serial scan (a parallel run merely evaluates up to ``chunk_size - 1``
+    extra candidates past the winner).
+    """
+
+    def __init__(self, factory: PredicateFactory, jobs: int,
+                 start_method: Optional[str] = None,
+                 chunk_size: Optional[int] = None) -> None:
+        if jobs < 2:
+            raise ValueError("PoolEvaluator needs jobs >= 2")
+        self.jobs = jobs
+        self._factory = factory
+        self._chunk = chunk_size if chunk_size is not None else 2 * jobs
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._context = multiprocessing.get_context(start_method)
+        self._pool = None
+        self.evaluations = 0
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._context.Pool(processes=self.jobs,
+                                            initializer=_initialize_worker,
+                                            initargs=(self._factory,))
+        return self._pool
+
+    def first_accepted(self, sources: Sequence[str]) -> Optional[int]:
+        pool = self._ensure_pool()
+        for offset in range(0, len(sources), self._chunk):
+            chunk = sources[offset:offset + self._chunk]
+            verdicts = pool.map(_evaluate_in_worker, chunk, chunksize=1)
+            self.evaluations += len(chunk)
+            for position, accepted in enumerate(verdicts):
+                if accepted:
+                    return offset + position
+        return None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+def make_evaluator(predicate_factory: PredicateFactory, jobs: int = 1,
+                   start_method: Optional[str] = None,
+                   chunk_size: Optional[int] = None):
+    """``jobs <= 1`` → serial evaluation; otherwise a pool of *jobs* workers."""
+    if jobs <= 1:
+        return SerialEvaluator(predicate_factory)
+    return PoolEvaluator(predicate_factory, jobs, start_method=start_method,
+                         chunk_size=chunk_size)

@@ -1,0 +1,216 @@
+"""Interestingness predicates and the campaign-facing reduction helper.
+
+Two predicate flavours are provided:
+
+* :func:`make_fn_bug_predicate` — the pairwise predicate the paper's
+  workflow uses while shrinking one report: the *detecting* configuration
+  must still report the right UB kind, the *missing* configuration must
+  still exit normally, and the crash-site mapping oracle must still call
+  the discrepancy a sanitizer bug;
+* :func:`make_signature_predicate` — the full-matrix predicate: the
+  candidate is differentially tested across a whole configuration matrix
+  and must reproduce the original bug signature (UB type, detected report
+  kind, missing configuration).  Sharing a
+  :class:`~repro.compilers.cache.CompilationCache` pays off heavily here —
+  one candidate's matrix performs one parse and one optimizer run per opt
+  level instead of one full compile per configuration.
+
+:func:`reduce_fn_candidate` packages the common campaign step: reduce one
+FN-bug candidate's program, re-run both configurations on the reduced
+source, and hand back a rebuilt candidate plus a :class:`ReductionRecord`
+for the analysis layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.core.crash_site import format_crash_site, is_sanitizer_bug_from_results
+from repro.core.differential import (
+    DifferentialTester,
+    FNBugCandidate,
+    TestConfig,
+    default_configs,
+)
+from repro.core.insertion import UBProgram
+from repro.core.ub_types import detects
+from repro.reduction.reducer import HierarchicalReducer, ReductionResult, token_count
+
+Predicate = Callable[[str], bool]
+
+
+def make_fn_bug_predicate(program: UBProgram, detecting: TestConfig,
+                          missing: TestConfig,
+                          tester: Optional[DifferentialTester] = None) -> Predicate:
+    """Build the pairwise "still triggers this FN bug" predicate.
+
+    Args:
+        program: the original UB program (supplies the UB type).
+        detecting: configuration that reports the UB.
+        missing: configuration that silently misses it.
+        tester: optional shared tester; by default a fresh one (with its own
+            compilation cache) is built, which is also what each pool worker
+            does when the predicate is constructed through a factory.
+    """
+    tester = tester or DifferentialTester()
+
+    def predicate(source: str) -> bool:
+        candidate = UBProgram(source=source, ub_type=program.ub_type,
+                              seed_index=program.seed_index,
+                              description=program.description)
+        detecting_outcome = tester.run_config(candidate, detecting)
+        missing_outcome = tester.run_config(candidate, missing)
+        if detecting_outcome.result is None or missing_outcome.result is None:
+            return False
+        if not detecting_outcome.detected:
+            return False
+        if not detects(program.ub_type, detecting_outcome.result.report.kind):
+            return False
+        if not missing_outcome.result.exited_normally:
+            return False
+        verdict = is_sanitizer_bug_from_results(detecting_outcome.result,
+                                                missing_outcome.result)
+        return verdict.is_bug
+
+    return predicate
+
+
+def make_fn_bug_predicate_factory(program: UBProgram, detecting: TestConfig,
+                                  missing: TestConfig):
+    """A factory for :func:`make_fn_bug_predicate` suitable for ``jobs > 1``:
+    every worker builds its own tester and compilation cache."""
+    def factory() -> Predicate:
+        return make_fn_bug_predicate(program, detecting, missing)
+    return factory
+
+
+@dataclass(frozen=True)
+class BugSignature:
+    """What must survive reduction: UB type, report kind, missing config."""
+
+    ub_type: str
+    report_kind: str
+    missing: TestConfig
+
+
+def bug_signature(candidate: FNBugCandidate) -> BugSignature:
+    report = (candidate.detecting.result.report
+              if candidate.detecting.result is not None else None)
+    return BugSignature(ub_type=candidate.program.ub_type.value,
+                        report_kind=report.kind if report is not None else "",
+                        missing=candidate.missing.config)
+
+
+def make_signature_predicate(program: UBProgram,
+                             signature: BugSignature,
+                             configs: Optional[Sequence[TestConfig]] = None,
+                             tester: Optional[DifferentialTester] = None) -> Predicate:
+    """Build the full-matrix predicate: the candidate must reproduce
+    *signature* when differentially tested across *configs* (default: every
+    configuration relevant to the program's UB type)."""
+    tester = tester or DifferentialTester()
+    if configs is None:
+        configs = default_configs(program.ub_type,
+                                  compilers=tuple(tester.compilers),
+                                  opt_levels=tester.opt_levels)
+    configs = list(configs)
+
+    def predicate(source: str) -> bool:
+        candidate = UBProgram(source=source, ub_type=program.ub_type,
+                              seed_index=program.seed_index,
+                              description=program.description)
+        result = tester.test(candidate, configs=configs)
+        for fn in result.fn_candidates:
+            if bug_signature(fn) == signature:
+                return True
+        return False
+
+    return predicate
+
+
+@dataclass
+class ReductionRecord:
+    """One crash bucket's reduction, as consumed by the analysis tables."""
+
+    label: str
+    ub_type: str
+    crash_site: str
+    sanitizer: str
+    original_tokens: int
+    reduced_tokens: int
+    predicate_evaluations: int
+    duration_seconds: float
+    reduced_source: str
+
+    @property
+    def token_reduction(self) -> float:
+        return 1.0 - self.reduced_tokens / max(1, self.original_tokens)
+
+    def to_json(self) -> dict:
+        return {"label": self.label, "ub_type": self.ub_type,
+                "crash_site": self.crash_site, "sanitizer": self.sanitizer,
+                "original_tokens": self.original_tokens,
+                "reduced_tokens": self.reduced_tokens,
+                "token_reduction": round(self.token_reduction, 4),
+                "predicate_evaluations": self.predicate_evaluations,
+                "duration_seconds": round(self.duration_seconds, 3)}
+
+
+def reduce_fn_candidate(candidate: FNBugCandidate,
+                        tester: Optional[DifferentialTester] = None,
+                        jobs: int = 1, max_rounds: int = 8
+                        ) -> Tuple[FNBugCandidate, ReductionResult]:
+    """Reduce one FN-bug candidate's program to a minimal reproducer.
+
+    Returns the rebuilt candidate (program, outcomes and oracle verdict all
+    recomputed on the reduced source) plus the raw :class:`ReductionResult`.
+    If reduction makes no progress, or the reduced program unexpectedly
+    stops reproducing, the original candidate is returned untouched.
+    """
+    program = candidate.program
+    detecting = candidate.detecting.config
+    missing = candidate.missing.config
+    tester = tester or DifferentialTester()
+    reducer = HierarchicalReducer(
+        predicate=make_fn_bug_predicate(program, detecting, missing,
+                                        tester=tester),
+        predicate_factory=make_fn_bug_predicate_factory(program, detecting,
+                                                        missing),
+        jobs=jobs, max_rounds=max_rounds)
+    result = reducer.reduce(program.source)
+    if result.reduced_source == program.source:
+        return candidate, result
+
+    reduced_program = UBProgram(
+        source=result.reduced_source, ub_type=program.ub_type,
+        seed_index=program.seed_index, description=program.description,
+        generator=program.generator,
+        metadata=dict(program.metadata, reduced_from_tokens=result.original_tokens))
+    detecting_outcome = tester.run_config(reduced_program, detecting)
+    missing_outcome = tester.run_config(reduced_program, missing)
+    if detecting_outcome.result is None or missing_outcome.result is None:
+        return candidate, result
+    verdict = is_sanitizer_bug_from_results(detecting_outcome.result,
+                                            missing_outcome.result)
+    if not verdict.is_bug:  # pragma: no cover - predicate guarantees this
+        return candidate, result
+    reduced = FNBugCandidate(program=reduced_program,
+                             detecting=detecting_outcome,
+                             missing=missing_outcome, verdict=verdict)
+    return reduced, result
+
+
+def record_for(label: str, candidate: FNBugCandidate,
+               result: ReductionResult) -> ReductionRecord:
+    """Build the analysis-layer record of one candidate's reduction."""
+    return ReductionRecord(
+        label=label,
+        ub_type=candidate.program.ub_type.value,
+        crash_site=format_crash_site(candidate.crash_site),
+        sanitizer=candidate.missing.config.sanitizer,
+        original_tokens=token_count(result.original_source),
+        reduced_tokens=token_count(result.reduced_source),
+        predicate_evaluations=result.predicate_evaluations,
+        duration_seconds=result.duration_seconds,
+        reduced_source=result.reduced_source)

@@ -1,0 +1,287 @@
+"""The hierarchical multi-pass reducer.
+
+:class:`HierarchicalReducer` shrinks a crashing program to a (near) minimal
+reproducer while a caller-supplied *interestingness predicate* keeps
+accepting the candidate — for sanitizer FN bugs, "the same sanitizer still
+misses the same UB that another configuration still detects" (see
+:func:`repro.reduction.predicates.make_fn_bug_predicate`).
+
+The reduction runs coarse-to-fine, each phase to fixpoint:
+
+1. **ddmin over top-level declarations** — whole functions and globals go
+   first, in exponentially shrinking chunks;
+2. **ddmin over statements** — every statement list in the program,
+   hierarchically (a nested block is removable as a unit *and* its
+   statements are individually removable);
+3. **AST passes** — compound-block flattening, loop unswitching to
+   straight-line code, expression simplification to constants, and unused
+   declaration pruning, repeated until none of them makes progress.
+
+Every candidate must re-parse and pass semantic analysis before the
+predicate is consulted, and the first acceptable candidate (in the passes'
+deterministic order) is applied.  Candidate evaluation optionally fans out
+over a :class:`~repro.reduction.evaluate.PoolEvaluator`; because selection
+is by order, not by completion time, ``jobs=N`` produces a bit-identical
+reduced program to ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Set
+
+from repro.cdsl import ast_nodes as ast
+from repro.cdsl.lexer import tokenize
+from repro.cdsl.parser import parse_program
+from repro.cdsl.sema import analyze
+from repro.reduction import passes
+from repro.reduction.evaluate import Predicate, PredicateFactory, make_evaluator
+from repro.utils.errors import ReductionError, ReproError
+
+
+def token_count(source: str) -> int:
+    """Number of lexical tokens in *source* (the EOF marker excluded)."""
+    try:
+        return max(0, len(tokenize(source)) - 1)
+    except ReproError:
+        return len(source.split())
+
+
+@dataclass
+class ReductionResult:
+    """Outcome of one reduction: the final source plus effort counters."""
+
+    original_source: str
+    reduced_source: str
+    predicate_evaluations: int
+    candidates_generated: int
+    edits_applied: int
+    rounds: int
+    duration_seconds: float
+
+    @property
+    def original_tokens(self) -> int:
+        return token_count(self.original_source)
+
+    @property
+    def reduced_tokens(self) -> int:
+        return token_count(self.reduced_source)
+
+    @property
+    def token_reduction(self) -> float:
+        """Fraction of tokens removed: ``1 - reduced/original``."""
+        before = max(1, self.original_tokens)
+        return 1.0 - self.reduced_tokens / before
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of source lines removed (line-based, legacy metric)."""
+        before = max(1, len(self.original_source.splitlines()))
+        return 1.0 - len(self.reduced_source.splitlines()) / before
+
+    @property
+    def attempts(self) -> int:
+        """Alias of :attr:`predicate_evaluations` (pre-hierarchical API)."""
+        return self.predicate_evaluations
+
+
+class HierarchicalReducer:
+    """Multi-pass hierarchical delta debugging over the C-subset AST.
+
+    Args:
+        predicate: the interestingness predicate, ``source -> bool``.  Must
+            be a pure function of the candidate source.
+        predicate_factory: zero-argument callable building a predicate;
+            required instead of (or alongside) *predicate* when ``jobs > 1``
+            so each pool worker constructs its own predicate — and with it
+            its own compiler stack and
+            :class:`~repro.compilers.cache.CompilationCache`.
+        jobs: worker processes for candidate evaluation (1 = serial).
+        max_rounds: bound on coarse-to-fine fixpoint rounds.
+        simplify_cap: expression sites tried per simplification sweep.
+
+    Example::
+
+        predicate = make_fn_bug_predicate(program, detecting, missing)
+        result = HierarchicalReducer(predicate).reduce(program.source)
+        print(result.reduced_source, result.token_reduction)
+    """
+
+    #: The AST-pass schedule of phase 3, in application order.
+    AST_PASSES = ("flatten", "unswitch", "simplify", "prune")
+
+    def __init__(self, predicate: Optional[Predicate] = None,
+                 predicate_factory: Optional[PredicateFactory] = None,
+                 jobs: int = 1, max_rounds: int = 8,
+                 simplify_cap: int = 64,
+                 chunk_size: Optional[int] = None,
+                 start_method: Optional[str] = None) -> None:
+        if predicate is None and predicate_factory is None:
+            raise ValueError("need a predicate or a predicate_factory")
+        if jobs > 1 and predicate_factory is None:
+            import multiprocessing
+            if "fork" not in multiprocessing.get_all_start_methods():
+                raise ValueError(
+                    "jobs > 1 without a predicate_factory requires the "
+                    "'fork' start method; pass predicate_factory= so each "
+                    "pool worker can build its own predicate")
+        self.predicate = predicate
+        self.predicate_factory = predicate_factory
+        self.jobs = jobs
+        self.max_rounds = max_rounds
+        self.simplify_cap = simplify_cap
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+
+    # -- public ---------------------------------------------------------------------
+
+    def reduce(self, source: str) -> ReductionResult:
+        """Reduce *source* to a minimal program the predicate still accepts.
+
+        The input program itself is never re-validated: a predicate that
+        rejects every candidate simply returns the input unchanged.
+        """
+        try:
+            parse_program(source)
+        except ReproError as exc:
+            raise ReductionError(f"cannot reduce unparsable source: {exc}") from exc
+        start = time.perf_counter()
+        self._current = source
+        self._edits = 0
+        self._candidates = 0
+        self._rejected: Set[str] = set()
+        # Serial evaluation prefers the caller's predicate object (it may
+        # close over a shared tester/CompilationCache); pool workers prefer
+        # the factory so each builds its own.
+        if self.jobs <= 1 and self.predicate is not None:
+            factory = lambda: self.predicate  # noqa: E731
+        elif self.predicate_factory is not None:
+            factory = self.predicate_factory
+        else:
+            factory = lambda: self.predicate  # noqa: E731
+        self._evaluator = make_evaluator(factory, jobs=self.jobs,
+                                         chunk_size=self.chunk_size,
+                                         start_method=self.start_method)
+        rounds = 0
+        try:
+            for _ in range(self.max_rounds):
+                rounds += 1
+                progress = self._ddmin(passes.toplevel_items)
+                progress |= self._ddmin(passes.statement_items)
+                for pass_name in self.AST_PASSES:
+                    progress |= self._exhaust(pass_name)
+                if not progress:
+                    break
+        finally:
+            self._evaluator.close()
+        return ReductionResult(
+            original_source=source,
+            reduced_source=self._current,
+            predicate_evaluations=self._evaluator.evaluations,
+            candidates_generated=self._candidates,
+            edits_applied=self._edits,
+            rounds=rounds,
+            duration_seconds=time.perf_counter() - start)
+
+    # -- phases ---------------------------------------------------------------------
+
+    def _ddmin(self, items_fn: Callable[[ast.TranslationUnit], List[int]]) -> bool:
+        """Delta debugging over the node ids *items_fn* enumerates."""
+        changed = False
+        granularity = 2
+        while True:
+            unit = parse_program(self._current)
+            items = items_fn(unit)
+            if not items:
+                break
+            granularity = min(granularity, len(items))
+            chunks = _split(items, granularity)
+            candidates = [passes.drop_nodes(unit, set(chunk)) for chunk in chunks]
+            index = self._first_accepted(candidates)
+            if index is not None:
+                self._apply(candidates[index])
+                changed = True
+                granularity = max(2, granularity - 1)
+            elif granularity >= len(items):
+                break
+            else:
+                granularity = min(len(items), granularity * 2)
+        return changed
+
+    def _exhaust(self, pass_name: str) -> bool:
+        """Apply one AST pass repeatedly until no candidate is accepted."""
+        changed = False
+        while True:
+            unit = parse_program(self._current)
+            if pass_name == "flatten":
+                candidates = list(passes.flatten_candidates(unit))
+            elif pass_name == "unswitch":
+                candidates = list(passes.unswitch_candidates(unit))
+            elif pass_name == "simplify":
+                candidates = list(passes.simplify_candidates(
+                    unit, cap=self.simplify_cap))
+            else:
+                candidates = list(passes.prune_candidates(unit))
+            index = self._first_accepted(candidates)
+            if index is None:
+                return changed
+            self._apply(candidates[index])
+            changed = True
+
+    # -- candidate screening ----------------------------------------------------------
+
+    def _first_accepted(self, candidates: Sequence[str]) -> Optional[int]:
+        """Index (into *candidates*) of the first acceptable candidate.
+
+        Candidates that do not shrink, were already rejected, or fail to
+        re-parse and analyze are screened out in-process; only the survivors
+        reach the (possibly pooled) predicate evaluator.
+        """
+        self._candidates += len(candidates)
+        viable: List[int] = []
+        seen: Set[str] = set()
+        for index, candidate in enumerate(candidates):
+            if candidate == self._current or candidate in self._rejected \
+                    or candidate in seen:
+                continue
+            seen.add(candidate)
+            if not _is_valid(candidate):
+                self._rejected.add(candidate)
+                continue
+            viable.append(index)
+        accepted = self._evaluator.first_accepted(
+            [candidates[index] for index in viable])
+        if accepted is None:
+            self._rejected.update(candidates[index] for index in viable)
+            return None
+        self._rejected.update(candidates[index]
+                              for index in viable[:accepted])
+        return viable[accepted]
+
+    def _apply(self, candidate: str) -> None:
+        self._current = candidate
+        self._edits += 1
+
+
+def _split(items: List[int], parts: int) -> List[List[int]]:
+    """Split *items* into *parts* contiguous, non-empty chunks."""
+    parts = max(1, min(parts, len(items)))
+    size, remainder = divmod(len(items), parts)
+    chunks: List[List[int]] = []
+    position = 0
+    for i in range(parts):
+        width = size + (1 if i < remainder else 0)
+        chunks.append(items[position:position + width])
+        position += width
+    return chunks
+
+
+def _is_valid(source: str) -> bool:
+    try:
+        analyze(parse_program(source))
+    except ReproError:
+        return False
+    except RecursionError:  # deeply nested candidates - reject, don't crash
+        return False
+    return True

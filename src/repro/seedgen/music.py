@@ -49,7 +49,13 @@ class Mutant:
 
 
 class MusicMutator:
-    """Applies random MUSIC mutation operators to seed programs."""
+    """The MUSIC mutation baseline (paper §4.4): blind syntactic mutation.
+
+    ``MusicMutator(seed).mutate(seed_program, count)`` applies random
+    mutation operators (operator swaps, constant tweaks, statement
+    deletion) and returns syntactically valid mutants — most of which
+    contain no UB, which is exactly the Table 4 comparison point.
+    """
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed

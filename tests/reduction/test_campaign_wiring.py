@@ -1,0 +1,122 @@
+"""Reduction wired through triage, the corpus store, orchestrator and CLI."""
+
+import json
+
+import pytest
+
+from repro.core import BugTriager, CampaignConfig, UBProgram, UBType
+from repro.core.differential import DifferentialTester
+from repro.orchestrator import CorpusStore, OrchestratedCampaign
+from repro.orchestrator.cli import main as cli_main
+from repro.analysis import table_reduction_quality
+
+SMALL = dict(num_seeds=1, rng_seed=2024, max_programs_per_type=1,
+             opt_levels=("-O0", "-O2"), triage=False)
+
+
+@pytest.fixture(scope="module")
+def figure1_candidate(figure1_source):
+    program = UBProgram(source=figure1_source,
+                        ub_type=UBType.BUFFER_OVERFLOW_POINTER)
+    tester = DifferentialTester(opt_levels=("-O0", "-O2"))
+    return tester.test(program).fn_candidates[0]
+
+
+def test_triager_reduces_before_bisection(figure1_candidate):
+    plain = BugTriager().triage_fn_candidate(figure1_candidate)
+    reduced = BugTriager(reduce=True).triage_fn_candidate(figure1_candidate)
+    # Same defect attribution and status, on a smaller program.
+    assert reduced.bug_id == plain.bug_id
+    assert reduced.status == plain.status
+    assert len(reduced.program.source) < len(plain.program.source)
+    stats = reduced.metadata["reduction"]
+    assert stats["reduced_tokens"] < stats["original_tokens"]
+    assert stats["predicate_evaluations"] > 0
+
+
+def test_orchestrated_campaign_persists_reduced_c(tmp_path):
+    corpus_dir = tmp_path / "corpus"
+    campaign = OrchestratedCampaign(CampaignConfig(**SMALL),
+                                    corpus=str(corpus_dir), reduce=True)
+    campaign.run()
+    assert campaign.reductions
+    reduced_files = sorted((corpus_dir / "reduced").glob("*.c"))
+    assert len(reduced_files) == len(campaign.reductions)
+    index = json.loads((corpus_dir / "corpus.json").read_text())
+    with_reduction = [b for b in index["buckets"] if "reduction" in b]
+    assert len(with_reduction) == len(campaign.reductions)
+    for bucket in with_reduction:
+        assert bucket["reduction"]["reduced_tokens"] \
+            < bucket["reduction"]["original_tokens"]
+        assert (corpus_dir / bucket["reduction"]["path"]).exists()
+
+
+def test_resumed_campaign_restores_reductions_instead_of_rereducing(
+        tmp_path, monkeypatch):
+    corpus_dir, checkpoint = tmp_path / "corpus", tmp_path / "ck.json"
+    config = CampaignConfig(**SMALL)
+    first = OrchestratedCampaign(config, corpus=str(corpus_dir),
+                                 checkpoint_path=str(checkpoint), reduce=True)
+    first.run()
+    assert first.reductions
+
+    # Re-running the finished campaign must not invoke the reducer at all.
+    import repro.orchestrator.campaign as campaign_module
+
+    def explode(*args, **kwargs):  # pragma: no cover - guard
+        raise AssertionError("bucket was re-reduced on resume")
+
+    monkeypatch.setattr(campaign_module, "reduce_fn_candidate", explode)
+    resumed = OrchestratedCampaign(config, corpus=str(corpus_dir),
+                                   checkpoint_path=str(checkpoint),
+                                   reduce=True)
+    resumed.run()
+    assert [(r.label, r.reduced_tokens, r.reduced_source)
+            for r in resumed.reductions] == \
+        [(r.label, r.reduced_tokens, r.reduced_source)
+         for r in first.reductions]
+
+
+def test_in_memory_corpus_keeps_reduced_source():
+    store = CorpusStore()
+    campaign = OrchestratedCampaign(CampaignConfig(**SMALL), corpus=store,
+                                    reduce=True)
+    campaign.run()
+    assert campaign.reductions
+    record = campaign.reductions[0]
+    bucket = store.buckets[(record.ub_type, record.crash_site,
+                            record.sanitizer)]
+    assert bucket.reduction["source"] == record.reduced_source
+
+
+def test_record_reduction_unknown_bucket_raises():
+    store = CorpusStore()
+    with pytest.raises(KeyError):
+        store.record_reduction(("x", "?", "asan"), "int main() {}")
+
+
+def test_cli_reduce_json_summary(tmp_path, capsys):
+    rc = cli_main(["--seeds", "1", "--rng-seed", "2024",
+                   "--max-programs-per-type", "1", "--opt-levels=-O0,-O2",
+                   "--no-triage", "--reduce", "--quiet", "--json",
+                   "--corpus", str(tmp_path / "corpus")])
+    assert rc == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["reductions"]
+    for record in summary["reductions"]:
+        assert record["reduced_tokens"] < record["original_tokens"]
+        assert record["token_reduction"] > 0
+
+
+def test_reduction_quality_table_renders():
+    from repro.reduction import ReductionRecord
+
+    record = ReductionRecord(label="bucket-a", ub_type="divide-by-zero",
+                             crash_site="3:5", sanitizer="ubsan",
+                             original_tokens=100, reduced_tokens=25,
+                             predicate_evaluations=40, duration_seconds=1.25,
+                             reduced_source="int main() {}")
+    headers, rows = table_reduction_quality([record])
+    assert headers[0] == "Bucket"
+    assert rows[0][0] == "bucket-a"
+    assert rows[0][3] == "75%"

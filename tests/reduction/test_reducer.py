@@ -1,0 +1,180 @@
+"""Unit tests for the hierarchical reducer: passes, edge cases, determinism."""
+
+import pytest
+
+from repro.cdsl import parse_program
+from repro.compilers import GccCompiler
+from repro.core import TestConfig, UBProgram, UBType
+from repro.core.differential import DifferentialTester
+from repro.reduction import (
+    HierarchicalReducer,
+    ProgramReducer,
+    make_fn_bug_predicate,
+    make_fn_bug_predicate_factory,
+    make_signature_predicate,
+    bug_signature,
+    reduce_fn_candidate,
+)
+from repro.reduction.reducer import token_count
+from repro.reduction import passes
+from repro.utils.errors import ReductionError
+
+NESTED_LOOP_SOURCE = """\
+int arr[4] = {1, 2, 3, 4};
+int unused_global = 7;
+int helper(int x) { return x + 1; }
+int main() {
+  int total = 0;
+  int i = 0;
+  for (i = 0; i < 3; i++) {
+    {
+      int offset = 6;
+      arr[i + offset] = total;
+    }
+    total = total + 1;
+  }
+  return total;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def overflow_predicate():
+    """Clean-compiler ASan predicate: still reports a buffer overflow."""
+    gcc = GccCompiler(defect_registry=[])
+
+    def predicate(source: str) -> bool:
+        result = gcc.compile(source, opt_level="-O0", sanitizer="asan").run()
+        return (result.crashed and result.report is not None
+                and "buffer-overflow" in result.report.kind)
+
+    return predicate
+
+
+def test_rejecting_predicate_returns_input_unchanged():
+    source = "int main() {\n  int x = 1;\n  return x;\n}\n"
+    result = HierarchicalReducer(lambda s: False).reduce(source)
+    assert result.reduced_source == source
+    assert result.edits_applied == 0
+    assert result.token_reduction == 0.0
+    assert result.predicate_evaluations > 0  # candidates were tried
+
+
+def test_unparsable_input_raises():
+    with pytest.raises(ReductionError):
+        HierarchicalReducer(lambda s: True).reduce("int main( {")
+
+
+def test_crash_inside_loop_and_nested_block(overflow_predicate):
+    """The crashing statement sits inside a loop within a nested block; the
+    reducer must unswitch/flatten its way down to straight-line code."""
+    assert overflow_predicate(NESTED_LOOP_SOURCE)
+    result = HierarchicalReducer(overflow_predicate).reduce(NESTED_LOOP_SOURCE)
+    assert overflow_predicate(result.reduced_source)
+    assert result.reduced_tokens < result.original_tokens
+    # The unused global and the helper function are gone...
+    assert "unused_global" not in result.reduced_source
+    assert "helper" not in result.reduced_source
+    # ...and so is the loop: the overflow now reproduces straight-line.
+    assert "for" not in result.reduced_source
+    assert result.token_reduction >= 0.4
+
+
+def test_accepting_predicate_reduces_to_near_nothing():
+    source = NESTED_LOOP_SOURCE
+    result = HierarchicalReducer(lambda s: True).reduce(source)
+    # Only validity constrains the reduction; virtually everything goes.
+    assert result.reduced_tokens <= 10
+
+
+def test_parallel_reduction_is_bit_identical_to_serial(figure1_source):
+    program = UBProgram(source=figure1_source,
+                        ub_type=UBType.BUFFER_OVERFLOW_POINTER)
+    detecting = TestConfig("gcc", "asan", "-O0")
+    missing = TestConfig("gcc", "asan", "-O2")
+    serial = HierarchicalReducer(
+        make_fn_bug_predicate(program, detecting, missing)).reduce(figure1_source)
+    parallel = HierarchicalReducer(
+        predicate_factory=make_fn_bug_predicate_factory(program, detecting,
+                                                        missing),
+        jobs=2).reduce(figure1_source)
+    assert parallel.reduced_source == serial.reduced_source
+    assert serial.edits_applied >= 1
+
+
+def test_program_reducer_alias_is_hierarchical():
+    assert ProgramReducer is HierarchicalReducer
+
+
+def test_serial_reduction_uses_the_callers_predicate_object():
+    """With jobs=1 the caller's predicate (which may close over a shared
+    tester and compilation cache) must do the evaluating, even when a
+    factory is also supplied for potential pool workers."""
+    direct_calls = 0
+
+    def direct(source: str) -> bool:
+        nonlocal direct_calls
+        direct_calls += 1
+        return False
+
+    def factory():
+        def from_factory(source: str) -> bool:  # pragma: no cover
+            raise AssertionError("factory predicate used on the serial path")
+        return from_factory
+
+    reducer = HierarchicalReducer(predicate=direct, predicate_factory=factory)
+    result = reducer.reduce("int main() {\n  int x = 1;\n  return x;\n}\n")
+    assert result.edits_applied == 0
+    assert direct_calls == result.predicate_evaluations > 0
+
+
+def test_signature_predicate_matches_original(figure1_source):
+    program = UBProgram(source=figure1_source,
+                        ub_type=UBType.BUFFER_OVERFLOW_POINTER)
+    tester = DifferentialTester(opt_levels=("-O0", "-O2"))
+    diff = tester.test(program)
+    assert diff.fn_candidates
+    signature = bug_signature(diff.fn_candidates[0])
+    predicate = make_signature_predicate(program, signature, tester=tester)
+    assert predicate(figure1_source)
+    assert not predicate("int main() { return 0; }")
+
+
+def test_reduce_fn_candidate_rebuilds_candidate(figure1_source):
+    program = UBProgram(source=figure1_source,
+                        ub_type=UBType.BUFFER_OVERFLOW_POINTER)
+    tester = DifferentialTester(opt_levels=("-O0", "-O2"))
+    diff = tester.test(program)
+    candidate = diff.fn_candidates[0]
+    reduced, result = reduce_fn_candidate(candidate, tester=tester)
+    assert result.edits_applied >= 1
+    assert reduced.program.source == result.reduced_source
+    assert reduced.verdict.is_bug
+    assert reduced.missing.config == candidate.missing.config
+    assert token_count(reduced.program.source) < token_count(program.source)
+
+
+# -- pass-level sanity --------------------------------------------------------------
+
+
+def test_statement_items_are_hierarchical(simple_source):
+    unit = parse_program(simple_source)
+    items = passes.statement_items(unit)
+    # Every statement of every block is individually addressable.
+    assert len(items) >= 7
+
+
+def test_prune_candidates_drop_unused_decls():
+    unit = parse_program("int used = 1;\nint unused = 2;\n"
+                         "int main() { return used; }")
+    candidates = list(passes.prune_candidates(unit))
+    assert candidates
+    assert all("unused" not in c for c in candidates[:1])
+
+
+def test_drop_nodes_removes_emptied_decl_statements():
+    unit = parse_program("int main() {\n  int a = 1, b = 2;\n  return 0;\n}")
+    decl_ids = [d.node_id for d in unit.functions[0].body.stmts[0].decls]
+    source = passes.drop_nodes(unit, set(decl_ids))
+    reparsed = parse_program(source)
+    assert len(reparsed.functions[0].body.stmts) == 1  # only the return left
