@@ -1,11 +1,26 @@
-"""Session-scoped fixtures shared by the benchmarks."""
+"""Session-scoped fixtures shared by the benchmarks.
+
+Everything under ``benchmarks/`` is auto-marked ``bench``: the default
+pytest invocation (tier-1) deselects it, the dedicated CI job selects it
+with ``-m bench``.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 from bench_common import CAMPAIGN_SCALE, COMPARISON_SCALE
 
 from repro.analysis import run_bug_finding_campaign, run_generator_comparison
+
+_BENCH_ROOT = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_ROOT):
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""The marker engine end to end: plant, survey, classify, reduce.
+
+This example walks the DEAD-style second workload (see
+docs/ARCHITECTURE.md, "repro.markers"):
+
+1. plant liveness markers into one seeded regression program and show
+   which (compiler, version, opt-pipeline) configurations eliminate which
+   markers — rediscovering a seeded optimizer-defect window;
+2. run a marker campaign over generated seeds through the orchestrator
+   (sharded exactly like the fuzzing campaign), printing the
+   marker-survival and finding-bucket tables;
+3. reduce one finding to a minimal reproducer through the hierarchical
+   reducer with the marker interestingness predicate.
+
+Run:  python examples/marker_campaign.py [--smoke]
+"""
+
+import sys
+
+from repro import MarkerCampaignConfig, MarkerEngine, OrchestratedCampaign
+from repro.analysis import table_marker_findings, table_marker_survival
+from repro.markers import REGRESSION, EliminationOracle, MarkerConfig, MarkerPlanter
+from repro.reduction import marker_record_for, reduce_marker_finding
+from repro.utils.text import format_table
+
+#: A pinned program exhibiting the seeded gcc-11 constprop regression:
+#: gcc-10 -O2 proves the then-arm dead and deletes its marker; gcc-11,
+#: whose -O2 pipeline lost constant propagation, keeps it.
+REGRESSION_SOURCE = """\
+int main() {
+  int c = 0;
+  if (c) { c = 5; }
+  return c;
+}
+"""
+
+
+def demo_elimination() -> None:
+    print("=== 1. marker elimination across releases ===")
+    planter = MarkerPlanter()
+    oracle = EliminationOracle()
+    marked = planter.plant(REGRESSION_SOURCE)
+    print(f"planted {len(marked.sites)} markers:")
+    for site in marked.sites:
+        print(f"  {site.name} {site.context} in {site.function}()")
+    live = oracle.live_set(marked)
+    print(f"reference execution reaches: {sorted(live)}")
+    for version in (10, 11, 12):
+        outcome = oracle.compile_one(marked,
+                                     MarkerConfig("gcc", version, "-O2"))
+        eliminated = sorted(outcome.eliminated(marked))
+        print(f"  gcc-{version} -O2 "
+              f"[{','.join(outcome.pipeline)}] eliminates: {eliminated}")
+    print()
+
+
+def run_campaign(smoke: bool):
+    print("=== 2. an orchestrated marker campaign ===")
+    config = MarkerCampaignConfig(
+        num_seeds=2 if smoke else 6, rng_seed=7,
+        versions={"gcc": [10, 11, 12, 14], "llvm": [13, 14, 16, 18]})
+    campaign = OrchestratedCampaign(config, workers=1 if smoke else 2)
+    result = campaign.run()
+    stats = result.stats
+    print(f"{stats.seeds_used} seeds, {stats.markers_planted} markers "
+          f"({stats.live_markers} live), {stats.configs_surveyed} configs "
+          f"surveyed, {stats.raw_findings} raw findings "
+          f"in {len(result.buckets)} buckets")
+    headers, rows = table_marker_survival(result)
+    print(format_table(headers, rows))
+    headers, rows = table_marker_findings(result)
+    print(format_table(headers, rows))
+    print()
+    return result
+
+
+def reduce_one_finding(result) -> None:
+    print("=== 3. reduce one finding to a minimal reproducer ===")
+    findings = (result.findings_of_kind(REGRESSION) or result.findings)
+    if not findings:
+        print("no findings to reduce")
+        return
+    finding = findings[0]
+    print(f"reducing: {finding.describe()}")
+    reduced, reduction = reduce_marker_finding(finding)
+    record = marker_record_for(reduced, reduction)
+    print(f"{record.original_tokens} -> {record.reduced_tokens} tokens "
+          f"({record.token_reduction:.0%}) in "
+          f"{record.predicate_evaluations} predicate evaluations")
+    print(reduced.source)
+
+
+def main() -> None:
+    smoke = "--smoke" in sys.argv
+    demo_elimination()
+    result = run_campaign(smoke)
+    reduce_one_finding(result)
+
+
+if __name__ == "__main__":
+    main()

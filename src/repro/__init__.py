@@ -16,6 +16,9 @@ This package reproduces, in pure Python, the system described in
                             testing, the fuzzing campaign and triage;
 * :mod:`repro.reduction`  — hierarchical parallel test-case reduction (the
                             paper's C-Reduce step);
+* :mod:`repro.markers`    — marker-based missed-optimization and
+                            optimizer-regression finding (the DEAD-style
+                            workload on the same toolchain);
 * :mod:`repro.coverage`   — coverage measurement (Table 5);
 * :mod:`repro.analysis`   — experiment drivers and table/figure renderers;
 * :mod:`repro.orchestrator` — sharded worker-pool campaign execution with
@@ -51,6 +54,17 @@ from repro.core import (
     is_sanitizer_bug,
     is_sanitizer_bug_from_results,
 )
+from repro.markers import (
+    EliminationOracle,
+    MarkedProgram,
+    MarkerCampaignConfig,
+    MarkerCampaignResult,
+    MarkerConfig,
+    MarkerEngine,
+    MarkerFinding,
+    MarkerPlanter,
+    MarkerSite,
+)
 from repro.orchestrator import (
     CorpusStore,
     OrchestratedCampaign,
@@ -61,7 +75,9 @@ from repro.reduction import (
     HierarchicalReducer,
     ReductionResult,
     make_fn_bug_predicate,
+    make_marker_predicate,
     reduce_fn_candidate,
+    reduce_marker_finding,
 )
 from repro.seedgen import (
     CsmithGenerator,
@@ -84,7 +100,10 @@ __all__ = [
     "ProgramReducer", "TestConfig", "UBGenerator", "UBProgram", "UBType",
     "classify_discrepancy", "is_sanitizer_bug", "is_sanitizer_bug_from_results",
     "HierarchicalReducer", "ReductionResult", "make_fn_bug_predicate",
-    "reduce_fn_candidate",
+    "make_marker_predicate", "reduce_fn_candidate", "reduce_marker_finding",
+    "EliminationOracle", "MarkedProgram", "MarkerCampaignConfig",
+    "MarkerCampaignResult", "MarkerConfig", "MarkerEngine", "MarkerFinding",
+    "MarkerPlanter", "MarkerSite",
     "CorpusStore", "OrchestratedCampaign", "PoolExecutor", "SerialExecutor",
     "CsmithGenerator", "CsmithNoSafeGenerator", "GeneratorConfig",
     "MusicMutator", "SeedProgram", "generate_juliet_suite",

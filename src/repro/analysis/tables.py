@@ -136,6 +136,45 @@ def table_reduction_quality(records) -> Table:
     return headers, rows
 
 
+def table_marker_survival(result) -> Table:
+    """Marker survival per surveyed (compiler, version, opt-pipeline).
+
+    *result* is a :class:`~repro.markers.engine.MarkerCampaignResult`.
+    ``Dead kept`` counts retained markers the reference executions never
+    reached — the raw material of missed-optimization findings.
+    """
+    headers = ["Config", "Pipeline", "Planted", "Kept", "Elim", "Dead kept",
+               "Survival"]
+    rows: Rows = []
+    for label in sorted(result.survival):
+        survival = result.survival[label]
+        rows.append([label, ",".join(survival.pipeline) or "-",
+                     survival.planted, survival.retained,
+                     survival.eliminated, survival.dead_retained,
+                     f"{100 * survival.survival_rate:.0f}%"])
+    return headers, rows
+
+
+def table_marker_findings(result) -> Table:
+    """Deduplicated marker findings, one row per bucket.
+
+    *result* is a :class:`~repro.markers.engine.MarkerCampaignResult`;
+    buckets are keyed by (kind, compiler, marker site, responsible pass)
+    and ``Hits`` counts the raw findings each bucket absorbed.
+    """
+    headers = ["Kind", "Compiler", "Site", "Pass", "Levels", "Versions",
+               "Hits"]
+    rows: Rows = []
+    for bucket in result.buckets.values():
+        finding = bucket.representative
+        rows.append([finding.kind, finding.compiler,
+                     finding.marker.signature, finding.responsible_pass,
+                     ",".join(bucket.opt_levels),
+                     ",".join(str(v) for v in sorted(bucket.versions)),
+                     bucket.count])
+    return headers, rows
+
+
 def bug_summary_rows(reports: Sequence[BugReport]) -> Rows:
     """A flat listing of found bugs (used by examples and docs)."""
     rows: Rows = []

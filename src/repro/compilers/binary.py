@@ -54,12 +54,17 @@ class CompiledBinary:
         return self.sanitizer_pass.build_runtime(self.sanitizer_context)
 
     def run(self, max_steps: int = DEFAULT_MAX_STEPS,
-            profile_collector=None) -> ExecutionResult:
-        """Execute the binary on the VM and return the result."""
+            profile_collector=None, call_hook=None) -> ExecutionResult:
+        """Execute the binary on the VM and return the result.
+
+        ``call_hook`` (if given) receives the name of every stubbed external
+        call the execution reaches — the marker oracle's liveness probe.
+        """
         interpreter = Interpreter(self.unit, self.sema,
                                   runtime=self.build_runtime(),
                                   max_steps=max_steps,
-                                  profile_collector=profile_collector)
+                                  profile_collector=profile_collector,
+                                  call_hook=call_hook)
         return interpreter.run()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -103,11 +103,18 @@ class CompilationCache:
 
     def optimized(self, fingerprint: str, compiler: str, version: int,
                   opt_level: str,
-                  builder: Callable[[], Tuple[ast.TranslationUnit, tuple]]
+                  builder: Callable[[], Tuple[ast.TranslationUnit, tuple]],
+                  pipeline: str = "flat"
                   ) -> Tuple[ast.TranslationUnit, tuple]:
         """The optimized unit + names of the passes that ran, for one
-        (source, compiler, version, opt level)."""
-        key = (fingerprint, compiler, version, opt_level)
+        (source, compiler, version, opt level, pipeline mode).
+
+        ``pipeline`` distinguishes the flat (release-independent) pipelines
+        from the version-aware ones the marker engine compiles under —
+        without it a shared cache would hand a flat-pipeline artifact to a
+        versioned-pipeline compiler of the same version.
+        """
+        key = (fingerprint, compiler, version, opt_level, pipeline)
         with self._lock:
             entry = self._optimized.get(key)
             if entry is not None:

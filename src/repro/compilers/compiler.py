@@ -25,7 +25,7 @@ from repro.compilers.cache import CompilationCache, source_fingerprint
 from repro.compilers.options import CompileOptions
 from repro.compilers.versions import trunk_version
 from repro.optim.passes import OptimizationContext
-from repro.optim.pipelines import pipeline_for
+from repro.optim.pipelines import effective_pass_names, pipeline_for
 from repro.sanitizers.base import InstrumentationContext
 from repro.sanitizers.registry import build_pass, sanitizers_supported_by
 from repro.utils.errors import CompilationError
@@ -48,11 +48,18 @@ class SimulatedCompiler:
     def __init__(self, version: Optional[int] = None,
                  defect_registry: Optional[Sequence] = None,
                  coverage=None,
-                 cache: Optional[CompilationCache] = None) -> None:
+                 cache: Optional[CompilationCache] = None,
+                 versioned_pipelines: bool = False) -> None:
         self.version = version if version is not None else trunk_version(self.name)
         self.defect_registry = defect_registry
         self.coverage = coverage
         self.cache = cache
+        #: With versioned pipelines the optimizer models release history:
+        #: passes not yet introduced at ``version`` (and passes inside a
+        #: seeded :class:`~repro.optim.pipelines.OptimizerDefect` window) do
+        #: not run.  Off by default — differential testing and defect
+        #: bisection use the flat, release-independent pipelines.
+        self.versioned_pipelines = versioned_pipelines
 
     # -- public API -------------------------------------------------------------
 
@@ -118,7 +125,10 @@ class SimulatedCompiler:
         opt_ctx = OptimizationContext(compiler=self.name, version=self.version,
                                       opt_level=opt_level,
                                       coverage=self.coverage)
-        return pipeline_for(self.name, opt_level).run(unit, sema, opt_ctx)
+        pipeline = pipeline_for(self.name, opt_level,
+                                self.version if self.versioned_pipelines
+                                else None)
+        return pipeline.run(unit, sema, opt_ctx)
 
     def _cached_phases(self, source_text: str, opt_level: str):
         """Frontend + optimizer with artifact sharing through the cache.
@@ -145,11 +155,30 @@ class SimulatedCompiler:
             passes_run = self._optimize(work, sema, opt_level)
             return work, tuple(passes_run)
 
+        cache_version, pipeline_sig = self._pipeline_key(opt_level)
         master, passes_run = self.cache.optimized(
-            fingerprint, self.name, self.version, opt_level, build_optimized)
+            fingerprint, self.name, cache_version, opt_level, build_optimized,
+            pipeline=pipeline_sig)
         unit = fast_clone(master)
         sema = self._analyze(unit, source_text)
         return unit, sema, source_text, passes_run
+
+    def _pipeline_key(self, opt_level: str) -> tuple[int, str]:
+        """The (version, pipeline) components of the optimized-cache key.
+
+        Flat pipelines are version-independent in behaviour but keyed by
+        version for historical compatibility.  Versioned pipelines are keyed
+        by their *effective pass list* instead: releases whose pipelines are
+        identical (no pass introduction or defect window between them)
+        share one optimizer artifact, which is most of the marker engine's
+        config-matrix speedup.  No pass consults the context version, so
+        the shared artifact is bit-identical for every release mapping to
+        the same signature.
+        """
+        if not self.versioned_pipelines:
+            return self.version, "flat"
+        names = effective_pass_names(self.name, opt_level, self.version)
+        return 0, "versioned:" + ",".join(names)
 
     # -- helpers ----------------------------------------------------------------
 
@@ -200,7 +229,8 @@ _COMPILER_CLASSES = {"gcc": GccCompiler, "llvm": LlvmCompiler}
 def make_compiler(name: str, version: Optional[int] = None,
                   defect_registry: Optional[Sequence] = None,
                   coverage=None,
-                  cache: Optional[CompilationCache] = None) -> SimulatedCompiler:
+                  cache: Optional[CompilationCache] = None,
+                  versioned_pipelines: bool = False) -> SimulatedCompiler:
     """Build a simulated compiler by name.
 
     Args:
@@ -209,6 +239,9 @@ def make_compiler(name: str, version: Optional[int] = None,
         defect_registry: seeded sanitizer defects ([] = a correct compiler).
         coverage: optional coverage tracker (Table 5 experiments).
         cache: a shared :class:`~repro.compilers.cache.CompilationCache`.
+        versioned_pipelines: model the optimizer's release history (pass
+            introduction versions and seeded optimizer-defect windows); used
+            by the marker engine's cross-version sweeps.
 
     Example::
 
@@ -221,4 +254,5 @@ def make_compiler(name: str, version: Optional[int] = None,
     except KeyError as exc:
         raise KeyError(f"unknown compiler {name!r}") from exc
     return cls(version=version, defect_registry=defect_registry,
-               coverage=coverage, cache=cache)
+               coverage=coverage, cache=cache,
+               versioned_pipelines=versioned_pipelines)

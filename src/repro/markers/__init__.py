@@ -1,0 +1,61 @@
+"""Marker-based missed-optimization and optimizer-regression finding.
+
+The DEAD-style workload on top of the existing toolchain: plant liveness
+markers into UB-free generated programs, compile each marked program under
+every (compiler, version, opt-pipeline) configuration through the shared
+:class:`~repro.compilers.cache.CompilationCache`, and diff which markers
+each configuration eliminates.
+
+* :mod:`repro.markers.instrument` — the marker-planting instrumentation
+  pass (:class:`MarkerPlanter`) and the :class:`MarkedProgram` /
+  :class:`MarkerSite` records;
+* :mod:`repro.markers.oracle` — :class:`EliminationOracle`: reference
+  liveness via the VM call hook, per-config elimination via cached
+  version-aware compiles;
+* :mod:`repro.markers.engine` — :class:`MarkerEngine`: the campaign loop
+  producing missed-optimization / regression / unsound-elimination
+  findings with bucketed dedup by (kind, compiler, marker site,
+  responsible pass).
+
+Campaigns shard through the orchestrator (``python -m repro.orchestrator
+--mode markers``) bit-identically to a serial run, shrink through
+:func:`repro.reduction.make_marker_predicate`, and render through
+:func:`repro.analysis.table_marker_survival`.
+"""
+
+from repro.markers.engine import (
+    MISSED_OPT_LEVELS,
+    MISSED_OPTIMIZATION,
+    REGRESSION,
+    UNSOUND_ELIMINATION,
+    ConfigSurvival,
+    MarkerBatch,
+    MarkerBucket,
+    MarkerCampaignConfig,
+    MarkerCampaignResult,
+    MarkerCampaignStats,
+    MarkerEngine,
+    MarkerFinding,
+)
+from repro.markers.instrument import (
+    DEFAULT_MARKER_PREFIX,
+    MarkedProgram,
+    MarkerPlanter,
+    MarkerSite,
+    marker_calls,
+)
+from repro.markers.oracle import (
+    EliminationOracle,
+    MarkerConfig,
+    MarkerOutcome,
+)
+
+__all__ = [
+    "MISSED_OPTIMIZATION", "REGRESSION", "UNSOUND_ELIMINATION",
+    "MISSED_OPT_LEVELS", "DEFAULT_MARKER_PREFIX",
+    "MarkerPlanter", "MarkedProgram", "MarkerSite", "marker_calls",
+    "EliminationOracle", "MarkerConfig", "MarkerOutcome",
+    "MarkerEngine", "MarkerCampaignConfig", "MarkerCampaignResult",
+    "MarkerCampaignStats", "MarkerBatch", "MarkerBucket", "MarkerFinding",
+    "ConfigSurvival",
+]

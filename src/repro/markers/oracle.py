@@ -1,0 +1,151 @@
+"""The elimination oracle: which markers does each configuration keep?
+
+Two questions are answered about a :class:`~repro.markers.instrument.MarkedProgram`:
+
+* **liveness** — which markers does the program's execution actually reach?
+  The instrumented source is interpreted directly (no optimizer), with the
+  VM's call hook recording every marker call in order.  Generated seed
+  programs are closed and deterministic, so this single run *is* the
+  program's behaviour: an unreached marker is semantically dead.
+* **elimination** — which markers survive compilation under a
+  (compiler, version, opt-pipeline) configuration?  Each config is compiled
+  through the normal driver with version-aware pipelines, and the emitted
+  unit is scanned for surviving marker calls.
+
+All compiles of one oracle share a
+:class:`~repro.compilers.cache.CompilationCache`: the frontend runs once
+per program and each optimizer pipeline once per (program, compiler,
+version, opt level), which is what makes full config matrices affordable
+(see ``benchmarks/test_marker_throughput.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compilers.cache import CompilationCache, source_fingerprint
+from repro.compilers.compiler import SimulatedCompiler, make_compiler
+from repro.compilers.versions import version_label
+from repro.cdsl.parser import parse_program
+from repro.cdsl.sema import analyze
+from repro.cdsl.visitor import fast_clone
+from repro.markers.instrument import MarkedProgram, marker_calls
+from repro.optim.pipelines import effective_pass_names
+from repro.vm.interpreter import run_program
+
+DEFAULT_MAX_STEPS = 150_000
+
+
+@dataclass(frozen=True, order=True)
+class MarkerConfig:
+    """One surveyed configuration: compiler, release, optimization level."""
+
+    compiler: str
+    version: int
+    opt_level: str
+
+    @property
+    def label(self) -> str:
+        return f"{version_label(self.compiler, self.version)} {self.opt_level}"
+
+
+@dataclass(frozen=True)
+class MarkerOutcome:
+    """What one configuration did to a marked program.
+
+    ``retained`` holds the markers surviving in the emitted unit;
+    ``pipeline`` the effective (version-aware) pass names of the config;
+    ``passes_run`` the passes that actually changed the program.
+    """
+
+    config: MarkerConfig
+    retained: frozenset
+    pipeline: Tuple[str, ...]
+    passes_run: Tuple[str, ...]
+
+    def eliminated(self, marked: MarkedProgram) -> frozenset:
+        return frozenset(marked.marker_names) - self.retained
+
+
+class EliminationOracle:
+    """Compiles marked programs across configs and classifies each marker."""
+
+    def __init__(self, cache: Optional[CompilationCache] = None,
+                 max_steps: int = DEFAULT_MAX_STEPS) -> None:
+        self.cache = cache if cache is not None else CompilationCache()
+        self.max_steps = max_steps
+        self._compilers: Dict[Tuple[str, int], SimulatedCompiler] = {}
+
+    # -- liveness ---------------------------------------------------------------
+
+    def analyzed_unit(self, source_text: str):
+        """Parse + analyze *source_text*, sharing the frontend cache.
+
+        The pristine parsed unit is cached like the compiler driver's
+        frontend phase; callers get an analyzed :func:`fast_clone` (sema
+        annotates nodes in place, so the master must stay untouched).
+        """
+        fingerprint = source_fingerprint(source_text)
+        pristine = self.cache.frontend(fingerprint,
+                                       lambda: parse_program(source_text))
+        unit = fast_clone(pristine)
+        return unit, analyze(unit)
+
+    def liveness(self, marked: MarkedProgram,
+                 analyzed=None) -> Tuple[str, ...]:
+        """The sequence of marker calls the reference execution performs.
+
+        The un-optimized instrumented program is interpreted directly;
+        marker calls are recorded through the VM call hook in execution
+        order (duplicates included — the equivalence property suite
+        compares whole sequences).  *analyzed* (a ``(unit, sema)`` pair
+        from :meth:`analyzed_unit`) skips the redundant frontend run when
+        the caller already has one — the reduction predicate's hot path.
+        """
+        unit, sema = analyzed if analyzed is not None \
+            else self.analyzed_unit(marked.source)
+        reached: List[str] = []
+        run_program(unit, sema, max_steps=self.max_steps,
+                    call_hook=lambda name: reached.append(name)
+                    if name.startswith(marked.prefix) else None)
+        return tuple(reached)
+
+    def live_set(self, marked: MarkedProgram) -> frozenset:
+        """The set of markers the reference execution reaches."""
+        return frozenset(self.liveness(marked))
+
+    # -- elimination ------------------------------------------------------------
+
+    def survey(self, marked: MarkedProgram,
+               configs: Sequence[MarkerConfig]) -> Dict[MarkerConfig, MarkerOutcome]:
+        """Compile *marked* under every config; map each to its outcome."""
+        outcomes: Dict[MarkerConfig, MarkerOutcome] = {}
+        for config in configs:
+            outcomes[config] = self.compile_one(marked, config)
+        return outcomes
+
+    def compile_one(self, marked: MarkedProgram,
+                    config: MarkerConfig) -> MarkerOutcome:
+        """Compile under one config and scan the emitted unit for markers."""
+        compiler = self._compiler_for(config.compiler, config.version)
+        binary = compiler.compile(marked.source, opt_level=config.opt_level)
+        retained = frozenset(marker_calls(binary.unit, marked.prefix))
+        pipeline = tuple(effective_pass_names(config.compiler,
+                                              config.opt_level,
+                                              config.version))
+        return MarkerOutcome(config=config, retained=retained,
+                             pipeline=pipeline,
+                             passes_run=tuple(binary.passes_run))
+
+    # -- internals --------------------------------------------------------------
+
+    def _compiler_for(self, name: str, version: int) -> SimulatedCompiler:
+        key = (name, version)
+        compiler = self._compilers.get(key)
+        if compiler is None:
+            compiler = make_compiler(name, version=version,
+                                     defect_registry=[], cache=self.cache,
+                                     versioned_pipelines=True)
+            self._compilers[key] = compiler
+        return compiler

@@ -12,7 +12,14 @@ from repro.optim.passes import (
     expr_constant,
     is_pure_expr,
 )
-from repro.optim.pipelines import OPT_LEVELS, pipeline_for
+from repro.optim.pipelines import (
+    DEFAULT_OPTIMIZER_DEFECTS,
+    OPT_LEVELS,
+    PASS_INTRODUCED,
+    OptimizerDefect,
+    effective_pass_names,
+    pipeline_for,
+)
 from repro.optim.simplify import AlgebraicSimplifyPass
 
 __all__ = [
@@ -27,6 +34,10 @@ __all__ = [
     "expr_constant",
     "is_pure_expr",
     "OPT_LEVELS",
+    "PASS_INTRODUCED",
+    "OptimizerDefect",
+    "DEFAULT_OPTIMIZER_DEFECTS",
+    "effective_pass_names",
     "pipeline_for",
     "AlgebraicSimplifyPass",
 ]

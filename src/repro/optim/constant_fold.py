@@ -17,7 +17,11 @@ from repro.cdsl import ast_nodes as ast
 from repro.cdsl import ctypes_ as ct
 from repro.cdsl.sema import SemanticInfo
 from repro.cdsl.visitor import NodeTransformer
-from repro.optim.passes import OptimizationContext, OptimizationPass
+from repro.optim.passes import (
+    OptimizationContext,
+    OptimizationPass,
+    typed_literal,
+)
 
 
 class ConstantFoldPass(OptimizationPass):
@@ -120,9 +124,9 @@ class _Folder(NodeTransformer):
 # ---------------------------------------------------------------------------
 
 def _literal(value: int, template: ast.Expr) -> ast.IntLiteral:
-    literal = ast.IntLiteral(value, loc=template.loc)
-    literal.ctype = template.ctype
-    return literal
+    # Suffixed so the template's type survives semantic re-analysis (see
+    # repro.optim.passes.literal_suffix).
+    return typed_literal(value, template)
 
 
 def _literal_value(expr: ast.Expr) -> Optional[int]:

@@ -22,6 +22,7 @@ from repro.optim.passes import (
     OptimizationPass,
     declared_volatile,
     symbols_with_address_taken,
+    typed_literal,
 )
 
 
@@ -146,9 +147,8 @@ class _Propagator:
             if symbol is not None and symbol.uid in known:
                 self.changed = True
                 self.ctx.cover_point("constprop.replaced")
-                literal = ast.IntLiteral(known[symbol.uid], loc=expr.loc)
-                literal.ctype = expr.ctype
-                return literal
+                # Suffixed so the variable's type survives re-analysis.
+                return typed_literal(known[symbol.uid], expr)
             return expr
         if isinstance(expr, ast.Assignment):
             expr.value = self.rewrite(expr.value, known)

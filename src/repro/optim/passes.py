@@ -102,6 +102,34 @@ def is_pure_expr(expr: Optional[ast.Expr]) -> bool:
     return True
 
 
+def literal_suffix(ctype) -> str:
+    """The literal suffix that preserves *ctype* across re-analysis.
+
+    Optimizer passes materialize constants whose type must survive the
+    semantic re-analysis that follows every pipeline (sema derives an
+    integer literal's type from its suffix alone).  Types at or below
+    ``int`` promote to ``int`` value-preservingly, so a bare literal is
+    fine; ``unsigned int``/``long``/``unsigned long`` need their suffix or
+    a fold like ``(unsigned int)5 → 5`` silently flips the expression to
+    signed arithmetic — a miscompilation the semantic-equivalence property
+    suite caught on generated seeds.
+    """
+    from repro.cdsl import ctypes_ as ct
+    if not isinstance(ctype, ct.IntType) or ctype.bits < 32:
+        return ""
+    if ctype.signed:
+        return "l" if ctype.bits > 32 else ""
+    return "ul" if ctype.bits > 32 else "u"
+
+
+def typed_literal(value: int, template: ast.Expr) -> ast.IntLiteral:
+    """An integer literal carrying *template*'s type, suffixed to keep it."""
+    literal = ast.IntLiteral(value, suffix=literal_suffix(template.ctype),
+                             loc=template.loc)
+    literal.ctype = template.ctype
+    return literal
+
+
 def expr_constant(expr: Optional[ast.Expr]) -> Optional[int]:
     """Return the literal value of *expr* if it is an integer constant."""
     if isinstance(expr, ast.IntLiteral):

@@ -16,7 +16,12 @@ from __future__ import annotations
 from repro.cdsl import ast_nodes as ast
 from repro.cdsl.sema import SemanticInfo
 from repro.cdsl.visitor import NodeTransformer
-from repro.optim.passes import OptimizationContext, OptimizationPass, is_pure_expr
+from repro.optim.passes import (
+    OptimizationContext,
+    OptimizationPass,
+    is_pure_expr,
+    typed_literal,
+)
 
 
 class AlgebraicSimplifyPass(OptimizationPass):
@@ -133,12 +138,9 @@ class _Simplifier(NodeTransformer):
 
 
 def _zero_like(node: ast.Expr) -> ast.IntLiteral:
-    literal = ast.IntLiteral(0, loc=node.loc)
-    literal.ctype = node.ctype
-    return literal
+    # Suffixed so the replaced expression's type survives re-analysis.
+    return typed_literal(0, node)
 
 
 def _one_like(node: ast.Expr) -> ast.IntLiteral:
-    literal = ast.IntLiteral(1, loc=node.loc)
-    literal.ctype = node.ctype
-    return literal
+    return typed_literal(1, node)

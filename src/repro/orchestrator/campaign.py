@@ -46,11 +46,18 @@ from repro.reduction import ReductionRecord, record_for, reduce_fn_candidate
 
 
 class OrchestratedCampaign:
-    """Runs a fuzzing campaign through the orchestration engine.
+    """Runs a fuzzing or marker campaign through the orchestration engine.
 
     ``workers=1`` (the default) runs serially in-process; ``workers=N``
     shards seeds across N worker processes.  Either way the deduplicated
     bug reports are identical for the same config and ``rng_seed``.
+
+    Passing a :class:`~repro.markers.engine.MarkerCampaignConfig` selects
+    **marker mode** (the CLI's ``--mode markers``): the same executor
+    shards marked-program surveys, the same monitor streams progress, and
+    ``reduce=True`` shrinks one representative finding per dedup bucket via
+    :func:`repro.reduction.reduce_marker_finding`.  Checkpoint/corpus
+    storage is fuzzing-specific and rejected in marker mode.
     """
 
     def __init__(self, config: Optional[CampaignConfig] = None,
@@ -63,7 +70,17 @@ class OrchestratedCampaign:
                  max_seeds_per_session: Optional[int] = None,
                  reduce: bool = False,
                  reduce_jobs: int = 1) -> None:
-        self.config = config or CampaignConfig()
+        self.config = config if config is not None else CampaignConfig()
+        if not isinstance(self.config, CampaignConfig):
+            if checkpoint_path is not None or corpus is not None:
+                raise ValueError(
+                    "checkpoint/corpus storage is only supported for "
+                    "fuzzing campaigns, not marker campaigns")
+            if max_seeds_per_session is not None:
+                raise ValueError(
+                    "max_seeds_per_session requires checkpoint/resume, "
+                    "which marker campaigns do not support — a capped run "
+                    "would silently return a partial result")
         self.executor = executor if executor is not None else make_executor(workers)
         self.checkpoint = (CampaignCheckpoint(checkpoint_path, self.config,
                                               flush_interval=checkpoint_interval)
@@ -84,8 +101,14 @@ class OrchestratedCampaign:
 
     # -- public ----------------------------------------------------------------
 
-    def run(self) -> CampaignResult:
-        """Execute (or resume) the campaign and return the merged result."""
+    def run(self):
+        """Execute (or resume) the campaign and return the merged result.
+
+        Returns a :class:`~repro.core.fuzzer.CampaignResult` (fuzzing
+        config) or a :class:`~repro.markers.engine.MarkerCampaignResult`
+        (marker config)."""
+        if not isinstance(self.config, CampaignConfig):
+            return self._run_markers()
         campaign = FuzzingCampaign(self.config)
         completed: Dict[int, SeedBatch] = (self.checkpoint.load()
                                            if self.checkpoint is not None else {})
@@ -101,6 +124,46 @@ class OrchestratedCampaign:
             self.reductions = self._reduce_buckets(campaign, result)
             if self.corpus is not None:
                 self.corpus.flush()
+        return result
+
+    # -- marker mode ------------------------------------------------------------
+
+    def _run_markers(self):
+        """Shard a marker campaign over the executor and merge the result."""
+        from repro.markers.engine import MarkerEngine
+        from repro.reduction import marker_record_for, reduce_marker_finding
+
+        engine = MarkerEngine(self.config)
+        pending = list(range(self.config.num_seeds))
+        self.monitor = ThroughputMonitor(self.config.num_seeds,
+                                         emit=self.progress)
+        self.monitor.start()
+
+        def batches():
+            fresh = iter(self.executor.map_seeds(self.config, pending))
+            try:
+                for batch in fresh:
+                    self.monitor.observe(batch)
+                    yield batch
+            finally:
+                if hasattr(fresh, "close"):
+                    fresh.close()
+
+        result = engine.collect(batches())
+        if self.reduce:
+            self.reductions = []
+            for bucket in result.buckets.values():
+                reduced, reduction = reduce_marker_finding(
+                    bucket.representative, cache=engine.oracle.cache,
+                    jobs=self.reduce_jobs)
+                record = marker_record_for(reduced, reduction)
+                bucket.representative = reduced
+                self.reductions.append(record)
+                if self.progress is not None:
+                    self.progress(f"reduced {record.label}: "
+                                  f"{record.original_tokens} -> "
+                                  f"{record.reduced_tokens} tokens "
+                                  f"({record.token_reduction:.0%})")
         return result
 
     # -- internals --------------------------------------------------------------

@@ -24,8 +24,13 @@ from repro.orchestrator.campaign import OrchestratedCampaign
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.orchestrator",
-        description="Run a sharded sanitizer-fuzzing campaign with "
-                    "checkpoint/resume, corpus storage and crash dedup.")
+        description="Run a sharded campaign: sanitizer fuzzing with "
+                    "checkpoint/resume, corpus storage and crash dedup "
+                    "(--mode fuzz), or marker-based missed-optimization "
+                    "and optimizer-regression finding (--mode markers).")
+    parser.add_argument("--mode", choices=("fuzz", "markers"), default="fuzz",
+                        help="campaign kind: sanitizer FN-bug fuzzing or "
+                             "the marker elimination engine (default: fuzz)")
     parser.add_argument("--seeds", type=int, default=10,
                         help="number of seed programs (default: 10)")
     parser.add_argument("--rng-seed", type=int, default=0,
@@ -33,8 +38,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "function of this (default: 0)")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes; 1 = serial (default: 1)")
-    parser.add_argument("--opt-levels", default="-O0,-O1,-Os,-O2,-O3",
-                        help="comma-separated optimization levels")
+    parser.add_argument("--opt-levels", default=None,
+                        help="comma-separated optimization levels (default: "
+                             "all five for --mode fuzz, -O2,-O3 for "
+                             "--mode markers)")
+    parser.add_argument("--versions", default=None, metavar="SPEC",
+                        help="markers mode: releases to survey, e.g. "
+                             "'gcc=9-12,llvm=13-16' (default: every "
+                             "simulated version)")
     parser.add_argument("--compilers", default="gcc,llvm",
                         help="comma-separated compilers (gcc, llvm)")
     parser.add_argument("--ub-types", default="",
@@ -107,15 +118,60 @@ def _check_opt_levels(levels: Sequence[str]) -> None:
                            f"(choose from: {', '.join(ALL_OPT_LEVELS)})")
 
 
-def config_from_args(args: argparse.Namespace) -> CampaignConfig:
+def _parse_versions(spec: Optional[str]) -> Optional[dict]:
+    """Parse ``gcc=9-12,llvm=13-16`` into ``{"gcc": [9..12], ...}``."""
+    if spec is None or not spec.strip():
+        return None
+    versions: dict = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            compiler, span = part.split("=", 1)
+            low, _, high = span.partition("-")
+            first, last = int(low), int(high or low)
+        except ValueError:
+            raise CLIError(f"bad --versions entry {part!r} "
+                           f"(expected e.g. gcc=9-12)") from None
+        if last < first:
+            raise CLIError(f"bad --versions range {part!r}")
+        versions[compiler.strip()] = list(range(first, last + 1))
+    return versions
+
+
+def _opt_levels_from_args(args: argparse.Namespace) -> tuple:
+    default = ("-O0,-O1,-Os,-O2,-O3" if args.mode == "fuzz" else "-O2,-O3")
+    spec = args.opt_levels if args.opt_levels is not None else default
+    return tuple(level.strip() for level in spec.split(",") if level.strip())
+
+
+def config_from_args(args: argparse.Namespace):
+    compilers = tuple(name.strip() for name in args.compilers.split(",")
+                      if name.strip())
+    opt_levels = _opt_levels_from_args(args)
+    if args.mode == "markers":
+        from repro.markers.engine import MarkerCampaignConfig
+        versions = _parse_versions(args.versions)
+        if versions is not None:
+            unknown = sorted(set(versions) - set(compilers))
+            if unknown:
+                raise CLIError(
+                    f"--versions names compilers not being surveyed: "
+                    f"{', '.join(unknown)} (surveying: "
+                    f"{', '.join(compilers)})")
+        return MarkerCampaignConfig(
+            num_seeds=args.seeds,
+            rng_seed=args.rng_seed,
+            compilers=compilers,
+            opt_levels=opt_levels,
+            versions=versions)
     return CampaignConfig(
         num_seeds=args.seeds,
         rng_seed=args.rng_seed,
         ub_types=_parse_ub_types(args.ub_types),
-        opt_levels=tuple(level.strip() for level in args.opt_levels.split(",")
-                         if level.strip()),
-        compilers=tuple(name.strip() for name in args.compilers.split(",")
-                        if name.strip()),
+        opt_levels=opt_levels,
+        compilers=compilers,
         max_programs_per_type=args.max_programs_per_type,
         max_programs_total=args.max_programs_total,
         triage=not args.no_triage)
@@ -136,6 +192,15 @@ def _run(args: argparse.Namespace) -> int:
     _check_compilers(config.compilers)
     _check_opt_levels(config.opt_levels)
     progress = None if args.quiet else (lambda line: print(line, file=sys.stderr))
+    if args.mode == "markers":
+        if args.checkpoint is not None or args.corpus is not None:
+            raise CLIError("--checkpoint/--corpus are fuzzing-only "
+                           "(marker campaigns are cheap to re-run)")
+        if args.max_seeds_per_session is not None:
+            raise CLIError("--max-seeds-per-session is fuzzing-only: "
+                           "without a checkpoint a capped marker campaign "
+                           "could never process its remaining seeds")
+        return _run_markers(args, config, progress)
     orchestrated = OrchestratedCampaign(
         config,
         workers=args.workers,
@@ -216,6 +281,66 @@ def _run(args: argparse.Namespace) -> int:
         print(f"  [{report['status']:9s}] {report['bug_id']} — "
               f"{report['compiler']} {report['sanitizer']} / "
               f"{report['ub_type']} / levels: {levels}")
+    return 0
+
+
+def _run_markers(args: argparse.Namespace, config, progress) -> int:
+    """Run a marker campaign and print its summary."""
+    orchestrated = OrchestratedCampaign(
+        config,
+        workers=args.workers,
+        progress=progress,
+        reduce=args.reduce,
+        reduce_jobs=args.reduce_jobs)
+    result = orchestrated.run()
+    stats = result.stats
+    summary = {
+        "mode": "markers",
+        "seeds_used": stats.seeds_used,
+        "markers_planted": stats.markers_planted,
+        "live_markers": stats.live_markers,
+        "configs_surveyed": stats.configs_surveyed,
+        "raw_findings": stats.raw_findings,
+        "findings_by_kind": dict(stats.findings_by_kind),
+        "workers": orchestrated.executor.workers,
+        "buckets": [
+            {"kind": f.kind, "compiler": f.compiler,
+             "site": f.marker.signature, "pass": f.responsible_pass,
+             "opt_level": f.opt_level, "version": f.version,
+             "prev_version": f.prev_version}
+            for f in result.findings
+        ],
+    }
+    if orchestrated.reductions:
+        summary["reductions"] = [record.to_json()
+                                 for record in orchestrated.reductions]
+    if args.as_json:
+        print(json.dumps(summary, indent=2))
+        return 0
+
+    from repro.analysis import table_marker_findings, table_marker_survival
+    from repro.utils.text import format_table
+    print(f"seeds used            : {summary['seeds_used']}")
+    print(f"markers planted       : {summary['markers_planted']} "
+          f"({summary['live_markers']} live)")
+    print(f"configs surveyed      : {summary['configs_surveyed']}")
+    print(f"raw findings          : {summary['raw_findings']} "
+          f"{summary['findings_by_kind']}")
+    print(f"workers               : {summary['workers']}")
+    headers, rows = table_marker_survival(result)
+    print("marker survival       :")
+    for line in format_table(headers, rows).splitlines():
+        print(f"  {line}")
+    headers, rows = table_marker_findings(result)
+    print(f"finding buckets       : {len(result.buckets)}")
+    for line in format_table(headers, rows).splitlines():
+        print(f"  {line}")
+    if orchestrated.reductions:
+        from repro.analysis.tables import table_reduction_quality
+        headers, rows = table_reduction_quality(orchestrated.reductions)
+        print("reduced reproducers   :")
+        for line in format_table(headers, rows).splitlines():
+            print(f"  {line}")
     return 0
 
 

@@ -12,14 +12,23 @@ from __future__ import annotations
 import multiprocessing
 from typing import Iterable, Iterator, Optional, Sequence
 
-from repro.core.fuzzer import CampaignConfig, FuzzingCampaign, SeedBatch
-from repro.orchestrator.worker import initialize_worker, run_seed_in_worker
+from repro.core.fuzzer import SeedBatch
+from repro.orchestrator.worker import (
+    campaign_for_config,
+    initialize_worker,
+    run_seed_in_worker,
+)
 
 
 class Executor:
-    """Maps seed indices to batches, preserving submission order."""
+    """Maps seed indices to batches, preserving submission order.
 
-    def map_seeds(self, config: CampaignConfig,
+    *config* may be a fuzzing :class:`~repro.core.fuzzer.CampaignConfig`
+    or a :class:`~repro.markers.engine.MarkerCampaignConfig`; the campaign
+    kind is selected by :func:`repro.orchestrator.worker.campaign_for_config`.
+    """
+
+    def map_seeds(self, config,
                   seed_indices: Sequence[int]) -> Iterator[SeedBatch]:
         raise NotImplementedError
 
@@ -35,9 +44,9 @@ class SerialExecutor(Executor):
     campaign this one produces for the same config.
     """
 
-    def map_seeds(self, config: CampaignConfig,
+    def map_seeds(self, config,
                   seed_indices: Sequence[int]) -> Iterator[SeedBatch]:
-        campaign = FuzzingCampaign(config)
+        campaign = campaign_for_config(config)
         for seed_index in seed_indices:
             yield campaign.run_seed(seed_index)
 
@@ -67,7 +76,7 @@ class PoolExecutor(Executor):
     def workers(self) -> int:
         return self._workers
 
-    def map_seeds(self, config: CampaignConfig,
+    def map_seeds(self, config,
                   seed_indices: Sequence[int]) -> Iterator[SeedBatch]:
         seed_indices = list(seed_indices)
         if not seed_indices:

@@ -1,16 +1,22 @@
 """Worker-process entry points for the pooled executor.
 
-Each pool process builds one :class:`~repro.core.fuzzer.FuzzingCampaign` at
-initialization and reuses it for every seed index it is handed.  Because a
-seed work-item's RNG streams are derived from ``(rng_seed, seed_index)``
-(see :func:`repro.utils.rng.derive_seed`) and never from process-local
-state, any worker produces bit-identical batches for a given index.
+Each pool process builds one campaign at initialization and reuses it for
+every seed index it is handed.  Two campaign kinds run through the same
+machinery — the config type selects which:
 
-The campaign carries one process-wide
+* :class:`~repro.core.fuzzer.CampaignConfig` →
+  :class:`~repro.core.fuzzer.FuzzingCampaign` (sanitizer FN-bug fuzzing);
+* :class:`~repro.markers.engine.MarkerCampaignConfig` →
+  :class:`~repro.markers.engine.MarkerEngine` (marker-based
+  missed-optimization / regression finding).
+
+Because a seed work-item depends only on ``(config, seed_index)`` (RNG
+streams are derived, never process-local), any worker produces bit-identical
+batches for a given index.  Each campaign carries one process-wide
 :class:`~repro.compilers.cache.CompilationCache`, so every seed a worker
-processes shares frontend/optimizer artifacts across its differential
-configurations (cache contents never influence results — cached and
-uncached compiles are bit-identical — so sharding stays deterministic).
+processes shares frontend/optimizer artifacts (cache contents never
+influence results — cached and uncached compiles are bit-identical — so
+sharding stays deterministic).
 """
 
 from __future__ import annotations
@@ -19,16 +25,31 @@ from typing import Optional
 
 from repro.core.fuzzer import CampaignConfig, FuzzingCampaign, SeedBatch
 
-_WORKER_CAMPAIGN: Optional[FuzzingCampaign] = None
+
+def campaign_for_config(config):
+    """Build the campaign matching *config*'s type (see module docstring)."""
+    if isinstance(config, CampaignConfig):
+        return FuzzingCampaign(config)
+    # Imported at use rather than module scope so this dispatch reads as
+    # the single place the orchestrator depends on the marker engine (the
+    # package is loaded anyway whenever `repro` itself is imported).
+    from repro.markers.engine import MarkerCampaignConfig, MarkerEngine
+    if isinstance(config, MarkerCampaignConfig):
+        return MarkerEngine(config)
+    raise TypeError(f"unsupported campaign config type "
+                    f"{type(config).__name__!r}")
 
 
-def initialize_worker(config: CampaignConfig) -> None:
+_WORKER_CAMPAIGN = None
+
+
+def initialize_worker(config) -> None:
     """Pool initializer: build this process's campaign once."""
     global _WORKER_CAMPAIGN
-    _WORKER_CAMPAIGN = FuzzingCampaign(config)
+    _WORKER_CAMPAIGN = campaign_for_config(config)
 
 
-def run_seed_in_worker(seed_index: int) -> SeedBatch:
+def run_seed_in_worker(seed_index: int):
     """Pool task: process one seed work-item."""
     if _WORKER_CAMPAIGN is None:  # pragma: no cover - defensive
         raise RuntimeError("worker process was not initialized")
@@ -40,4 +61,7 @@ def worker_cache_stats() -> Optional[dict]:
     the worker is initialized).  Used by diagnostics and tests."""
     if _WORKER_CAMPAIGN is None:
         return None
-    return _WORKER_CAMPAIGN.compilation_cache.stats()
+    cache = getattr(_WORKER_CAMPAIGN, "compilation_cache", None)
+    if cache is None:
+        cache = _WORKER_CAMPAIGN.oracle.cache
+    return cache.stats()

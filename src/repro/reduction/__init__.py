@@ -32,9 +32,13 @@ from repro.reduction.predicates import (
     bug_signature,
     make_fn_bug_predicate,
     make_fn_bug_predicate_factory,
+    make_marker_predicate,
+    make_marker_predicate_factory,
     make_signature_predicate,
+    marker_record_for,
     record_for,
     reduce_fn_candidate,
+    reduce_marker_finding,
 )
 from repro.reduction.reducer import (
     HierarchicalReducer,
@@ -52,5 +56,7 @@ __all__ = [
     "BugSignature", "ReductionRecord", "bug_signature",
     "make_fn_bug_predicate", "make_fn_bug_predicate_factory",
     "make_signature_predicate", "record_for", "reduce_fn_candidate",
+    "make_marker_predicate", "make_marker_predicate_factory",
+    "marker_record_for", "reduce_marker_finding",
     "PoolEvaluator", "SerialEvaluator", "make_evaluator",
 ]

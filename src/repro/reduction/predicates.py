@@ -214,3 +214,120 @@ def record_for(label: str, candidate: FNBugCandidate,
         predicate_evaluations=result.predicate_evaluations,
         duration_seconds=result.duration_seconds,
         reduced_source=result.reduced_source)
+
+
+# ---------------------------------------------------------------------------
+# Marker findings (repro.markers): missed optimizations and regressions
+# ---------------------------------------------------------------------------
+
+
+def make_marker_predicate(finding, cache=None, max_steps=None) -> Predicate:
+    """Build the "still exhibits this marker finding" predicate.
+
+    The candidate source (an already-instrumented program — reduction never
+    re-plants markers) stays interesting when the finding's marker is still
+    present, still dead on the reference execution, still inside an
+    executed function (missed optimizations only), retained by the
+    finding's configuration, and — for regressions — still eliminated by
+    the adjacent older release.  The finding's bucket key (kind, compiler,
+    marker site, responsible pass) only depends on the marker name and the
+    configs, so it survives any reduction this predicate accepts.
+
+    *finding* is a :class:`~repro.markers.engine.MarkerFinding`; a shared
+    :class:`~repro.compilers.cache.CompilationCache` may be passed so
+    sibling candidates reuse frontend/optimizer artifacts.
+    """
+    from repro.markers.engine import MISSED_OPTIMIZATION, REGRESSION
+    from repro.markers.instrument import MarkedProgram, marker_calls
+    from repro.markers.oracle import EliminationOracle, MarkerConfig
+
+    oracle = EliminationOracle(cache=cache,
+                               **({} if max_steps is None
+                                  else {"max_steps": max_steps}))
+    target = MarkerConfig(finding.compiler, finding.version, finding.opt_level)
+    witness = (MarkerConfig(finding.compiler, finding.prev_version,
+                            finding.opt_level)
+               if finding.kind == REGRESSION and finding.prev_version is not None
+               else None)
+    name = finding.marker.name
+
+    def predicate(source: str) -> bool:
+        marked = MarkedProgram(source=source, base_source=source, sites=(),
+                               prefix=finding.prefix,
+                               seed_index=finding.seed_index)
+        try:
+            # One frontend run (through the shared cache) serves the
+            # function-liveness check and the reference execution; the
+            # compiles below share the same cached pristine unit.
+            unit, sema = oracle.analyzed_unit(source)
+            live = frozenset(oracle.liveness(marked, analyzed=(unit, sema)))
+            outcome = oracle.compile_one(marked, target)
+            older = (oracle.compile_one(marked, witness)
+                     if witness is not None else None)
+        except Exception:
+            # Candidates that no longer parse, analyze or execute are
+            # simply uninteresting.
+            return False
+        if name in live or name not in outcome.retained:
+            return False
+        if finding.kind == MISSED_OPTIMIZATION:
+            # The enclosing function must still be executed, or the marker
+            # degenerates to "dead because never called" — a different bug.
+            fn = unit.function_named(finding.marker.function)
+            if fn is None or not (set(marker_calls(fn, finding.prefix)) & live):
+                return False
+        if older is not None and name in older.retained:
+            return False
+        return True
+
+    return predicate
+
+
+def make_marker_predicate_factory(finding):
+    """A factory for :func:`make_marker_predicate` suitable for ``jobs > 1``:
+    every pool worker builds its own oracle and compilation cache."""
+    def factory() -> Predicate:
+        return make_marker_predicate(finding)
+    return factory
+
+
+def reduce_marker_finding(finding, cache=None, jobs: int = 1,
+                          max_rounds: int = 8):
+    """Reduce one marker finding's program to a minimal reproducer.
+
+    Returns ``(reduced_finding, ReductionResult)``; the finding is returned
+    untouched when reduction makes no progress.  The rebuilt finding keeps
+    its bucket key — only ``source`` changes.
+    """
+    import dataclasses
+
+    reducer = HierarchicalReducer(
+        predicate=make_marker_predicate(finding, cache=cache),
+        predicate_factory=make_marker_predicate_factory(finding),
+        jobs=jobs, max_rounds=max_rounds)
+    result = reducer.reduce(finding.source)
+    if result.reduced_source == finding.source:
+        return finding, result
+    reduced = dataclasses.replace(finding, source=result.reduced_source)
+    return reduced, result
+
+
+def marker_record_for(finding, result: ReductionResult) -> ReductionRecord:
+    """Build the analysis-layer record of one marker finding's reduction.
+
+    The record reuses the FN-bug schema so
+    :func:`repro.analysis.table_marker_survival`'s sibling
+    ``table_reduction_quality`` renders both: ``ub_type`` carries the
+    finding kind, ``crash_site`` the marker site signature and
+    ``sanitizer`` the responsible pass.
+    """
+    return ReductionRecord(
+        label=finding.bucket_slug,
+        ub_type=finding.kind,
+        crash_site=finding.marker.signature,
+        sanitizer=finding.responsible_pass,
+        original_tokens=token_count(result.original_source),
+        reduced_tokens=token_count(result.reduced_source),
+        predicate_evaluations=result.predicate_evaluations,
+        duration_seconds=result.duration_seconds,
+        reduced_source=result.reduced_source)

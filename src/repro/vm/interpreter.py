@@ -111,7 +111,8 @@ class Interpreter:
                  max_steps: int = DEFAULT_MAX_STEPS,
                  profile_collector=None,
                  site_callback: Optional[Callable[[tuple[int, int]], None]] = None,
-                 max_trace_len: int = _MAX_TRACE_LEN) -> None:
+                 max_trace_len: int = _MAX_TRACE_LEN,
+                 call_hook: Optional[Callable[[str], None]] = None) -> None:
         self.unit = unit
         self.sema = sema
         self.runtime = runtime or NullRuntime()
@@ -119,6 +120,7 @@ class Interpreter:
         self.profile_collector = profile_collector
         self.site_callback = site_callback
         self.max_trace_len = max_trace_len
+        self.call_hook = call_hook
 
         self.memory = Memory()
         self.runtime.attach(self.memory)
@@ -803,9 +805,13 @@ class Interpreter:
             code = self._eval(expr.args[0]).value if expr.args else 0
             raise ExitSignal(code)
         # Unknown external function: evaluate arguments for their side
-        # effects and return 0, like a stub library call.
+        # effects and return 0, like a stub library call.  The call hook
+        # observes these by name — the marker-liveness oracle counts every
+        # planted marker call the execution actually reaches.
         for arg in expr.args:
             self._eval(arg)
+        if self.call_hook is not None:
+            self.call_hook(name)
         return make_value(0)
 
     def _builtin_printf(self, expr: ast.Call) -> RuntimeValue:
@@ -964,8 +970,11 @@ _LVALUE_DISPATCH: Dict[type, Callable] = {
 def run_program(unit: ast.TranslationUnit, sema: SemanticInfo,
                 runtime: Optional[SanitizerRuntime] = None,
                 max_steps: int = DEFAULT_MAX_STEPS,
-                profile_collector=None) -> ExecutionResult:
+                profile_collector=None,
+                call_hook: Optional[Callable[[str], None]] = None
+                ) -> ExecutionResult:
     """Convenience wrapper: build an interpreter and run the program."""
     interp = Interpreter(unit, sema, runtime=runtime, max_steps=max_steps,
-                         profile_collector=profile_collector)
+                         profile_collector=profile_collector,
+                         call_hook=call_hook)
     return interp.run()

@@ -1,0 +1,147 @@
+"""Tests for the marker differential engine and its orchestrator wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.markers import (
+    MISSED_OPTIMIZATION,
+    REGRESSION,
+    UNSOUND_ELIMINATION,
+    MarkerCampaignConfig,
+    MarkerEngine,
+)
+from repro.orchestrator import OrchestratedCampaign, PoolExecutor, SerialExecutor
+from repro.orchestrator.cli import main as cli_main
+
+SMALL = dict(num_seeds=2, rng_seed=7,
+             versions={"gcc": [10, 11, 12, 14], "llvm": [13, 14, 16, 18]})
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return MarkerEngine(MarkerCampaignConfig(**SMALL)).run()
+
+
+def _comparable(result):
+    """Everything that must be bit-identical between serial and parallel."""
+    return (
+        sorted(result.buckets),
+        {key: (bucket.representative, bucket.count,
+               tuple(bucket.opt_levels), tuple(sorted(bucket.versions)))
+         for key, bucket in result.buckets.items()},
+        {label: (s.planted, s.retained, s.dead_retained, s.pipeline)
+         for label, s in result.survival.items()},
+        (result.stats.seeds_used, result.stats.markers_planted,
+         result.stats.live_markers, result.stats.configs_surveyed,
+         result.stats.raw_findings, result.stats.findings_by_kind),
+    )
+
+
+def test_engine_finds_missed_optimizations(small_result):
+    missed = small_result.findings_of_kind(MISSED_OPTIMIZATION)
+    assert missed, "generated seeds always contain dynamically-dead branches"
+    for finding in missed:
+        assert not finding.live
+        assert finding.opt_level in ("-O2", "-O3")
+        assert finding.responsible_pass != "unknown"
+        assert finding.marker.context != "fn-entry"
+
+
+def test_engine_never_reports_unsound_eliminations(small_result):
+    assert not small_result.findings_of_kind(UNSOUND_ELIMINATION)
+
+
+def test_regressions_point_at_adjacent_releases(small_result):
+    for finding in small_result.findings_of_kind(REGRESSION):
+        assert finding.prev_version is not None
+        assert finding.prev_version < finding.version
+
+
+def test_survival_accounting_is_consistent(small_result):
+    for survival in small_result.survival.values():
+        assert 0 <= survival.retained <= survival.planted
+        assert survival.eliminated == survival.planted - survival.retained
+        assert survival.dead_retained <= survival.retained
+        assert 0.0 <= survival.survival_rate <= 1.0
+
+
+def test_run_seed_is_a_pure_function_of_config_and_index():
+    first = MarkerEngine(MarkerCampaignConfig(**SMALL)).run_seed(1)
+    second = MarkerEngine(MarkerCampaignConfig(**SMALL)).run_seed(1)
+    assert first.findings == second.findings
+    assert first.survival == second.survival
+    assert first.planted == second.planted
+
+
+def test_parallel_campaign_is_bit_identical_to_serial(small_result):
+    parallel = MarkerEngine(MarkerCampaignConfig(**SMALL)).run(
+        executor=PoolExecutor(workers=2))
+    assert _comparable(parallel) == _comparable(small_result)
+
+
+def test_orchestrated_markers_mode_matches_plain_engine(small_result):
+    lines = []
+    orchestrated = OrchestratedCampaign(MarkerCampaignConfig(**SMALL),
+                                        executor=SerialExecutor(),
+                                        progress=lines.append)
+    result = orchestrated.run()
+    assert _comparable(result) == _comparable(small_result)
+    assert len(lines) == SMALL["num_seeds"]   # one monitor line per seed
+
+
+def test_orchestrated_markers_mode_rejects_fuzzing_only_features(tmp_path):
+    with pytest.raises(ValueError):
+        OrchestratedCampaign(MarkerCampaignConfig(**SMALL),
+                             checkpoint_path=str(tmp_path / "cp.json"))
+    with pytest.raises(ValueError):
+        OrchestratedCampaign(MarkerCampaignConfig(**SMALL),
+                             corpus=str(tmp_path / "corpus"))
+    with pytest.raises(ValueError):
+        OrchestratedCampaign(MarkerCampaignConfig(**SMALL),
+                             max_seeds_per_session=1)
+
+
+def test_cli_markers_mode_json(capsys):
+    exit_code = cli_main([
+        "--mode", "markers", "--seeds", "1", "--rng-seed", "7",
+        "--versions", "gcc=10-12,llvm=15-16", "--quiet", "--json"])
+    assert exit_code == 0
+    import json
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["mode"] == "markers"
+    assert summary["seeds_used"] == 1
+    assert summary["markers_planted"] > 0
+    assert "buckets" in summary
+
+
+def test_cli_markers_mode_rejects_checkpoint(capsys):
+    exit_code = cli_main([
+        "--mode", "markers", "--seeds", "1", "--checkpoint", "cp.json"])
+    assert exit_code == 2
+    assert "fuzzing-only" in capsys.readouterr().err
+
+
+def test_cli_rejects_bad_versions_spec(capsys):
+    assert cli_main(["--mode", "markers", "--versions", "gcc=oops"]) == 2
+    assert "--versions" in capsys.readouterr().err
+
+
+def test_cli_rejects_versions_for_unsurveyed_compiler(capsys):
+    assert cli_main(["--mode", "markers", "--versions", "gc=10-12"]) == 2
+    assert "gc" in capsys.readouterr().err
+
+
+def test_cli_markers_mode_rejects_session_cap(capsys):
+    exit_code = cli_main(["--mode", "markers", "--seeds", "2",
+                          "--max-seeds-per-session", "1"])
+    assert exit_code == 2
+    assert "fuzzing-only" in capsys.readouterr().err
+
+
+def test_cli_fuzz_mode_still_defaults_to_all_levels(capsys):
+    exit_code = cli_main(["--seeds", "1", "--no-triage", "--quiet", "--json"])
+    assert exit_code == 0
+    import json
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["seeds_used"] == 1

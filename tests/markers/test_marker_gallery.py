@@ -1,0 +1,210 @@
+"""The marker finding gallery: seeded missed-optimizations and regressions.
+
+Gallery discipline (mirrors ``tests/reduction/test_gallery_reduction.py``):
+every entry is a pinned program the engine **must** keep finding, one test
+per dedup bucket, with the exact bucket signature asserted.  Each seeded
+:class:`~repro.optim.pipelines.OptimizerDefect` window has an entry that
+rediscovers it as a regression; the missed-optimization entries pin the
+engine's dead-code judgement and its responsible-pass attribution.
+
+The gallery is tier-2 (``-m slow``): it compiles each program across a
+whole version matrix, which tier-1 doesn't need to repeat on every run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.markers import (
+    MISSED_OPTIMIZATION,
+    REGRESSION,
+    UNSOUND_ELIMINATION,
+    MarkerCampaignConfig,
+    MarkerEngine,
+)
+from repro.reduction import make_marker_predicate, reduce_marker_finding
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return MarkerEngine(MarkerCampaignConfig())
+
+
+def findings_for(engine, source):
+    _, findings = engine.analyze_source(source)
+    return findings
+
+
+def buckets_of(findings, kind):
+    return {f.bucket for f in findings if f.kind == kind}
+
+
+# -- seeded optimizer-defect regressions --------------------------------------
+
+GCC_CONSTPROP_SOURCE = """\
+int main() {
+  int c = 0;
+  if (c) { c = 5; }
+  return c;
+}
+"""
+
+
+def test_gcc_constprop_window_is_rediscovered(engine):
+    """gcc 11 -O2 lost constprop: the dead then-arm survives again.  (The
+    same marker also regresses at gcc 12 -O3, whose lost constant folding
+    leaves the propagated ``if (0)`` standing — a second, distinct bucket.)"""
+    findings = sorted(
+        ((f.bucket, f.opt_level, f.prev_version, f.version)
+         for f in findings_for(engine, GCC_CONSTPROP_SOURCE)
+         if f.kind == REGRESSION),
+        key=lambda row: row[3])
+    assert findings == [
+        (("regression", "gcc", "main", "if-then", "__ubfm_1_", "constprop"),
+         "-O2", 10, 11),
+        (("regression", "gcc", "main", "if-then", "__ubfm_1_",
+          "constant-fold"), "-O3", 11, 12),
+    ]
+
+
+GCC_FOLD_SOURCE = """\
+int main() {
+  if (1) { return 0; }
+  return 1;
+}
+"""
+
+
+def test_gcc_constant_fold_window_is_rediscovered(engine):
+    """gcc 12 -O3 lost constant folding: the if(1) else-arm survives."""
+    findings = [f for f in findings_for(engine, GCC_FOLD_SOURCE)
+                if f.kind == REGRESSION]
+    assert [(f.bucket, f.opt_level, f.prev_version, f.version)
+            for f in findings] == [
+        (("regression", "gcc", "main", "if-else", "__ubfm_2_",
+          "constant-fold"), "-O3", 11, 12),
+    ]
+
+
+LLVM_LOOP_SOURCE = """\
+int g = 0;
+int main() {
+  for (int i = 0; 0; i++) { g += 1; }
+  return g;
+}
+"""
+
+
+def test_llvm_loop_opts_window_is_rediscovered(engine):
+    """llvm 14-15 -O3 lost loop deletion: the false-for body survives."""
+    findings = sorted(
+        ((f.bucket, f.opt_level, f.prev_version, f.version)
+         for f in findings_for(engine, LLVM_LOOP_SOURCE)
+         if f.kind == REGRESSION),
+        key=lambda row: row[3])
+    assert findings == [
+        (("regression", "llvm", "main", "loop-body", "__ubfm_1_",
+          "loop-opts"), "-O3", 13, 14),
+    ]
+
+
+# -- missed optimizations ------------------------------------------------------
+
+OPAQUE_BRANCH_SOURCE = """\
+int main() {
+  int c = 0;
+  for (int i = 0; i < 3; i++) { c += 1; }
+  if (c > 100) { c = 7; }
+  return c;
+}
+"""
+
+
+def test_opaque_dead_branch_is_a_missed_optimization_everywhere(engine):
+    """No pipeline can see through the loop; trunk retaining the dead
+    then-arm at -O2/-O3 is reported once per compiler."""
+    missed = buckets_of(findings_for(engine, OPAQUE_BRANCH_SOURCE),
+                        MISSED_OPTIMIZATION)
+    assert missed == {
+        (MISSED_OPTIMIZATION, "gcc", "main", "if-then", "__ubfm_2_",
+         "constant-fold"),
+        (MISSED_OPTIMIZATION, "llvm", "main", "if-then", "__ubfm_2_",
+         "constant-fold"),
+    }
+
+
+DEAD_LOOP_SOURCE = """\
+int main() {
+  int n = 0;
+  int total = 0;
+  for (int i = 0; i < n - 1; i++) { total += i; }
+  return total;
+}
+"""
+
+
+def test_dynamically_dead_loop_is_attributed_to_loop_opts(engine):
+    missed = buckets_of(findings_for(engine, DEAD_LOOP_SOURCE),
+                        MISSED_OPTIMIZATION)
+    assert (MISSED_OPTIMIZATION, "gcc", "main", "loop-body", "__ubfm_1_",
+            "loop-opts") in missed
+    assert (MISSED_OPTIMIZATION, "llvm", "main", "loop-body", "__ubfm_1_",
+            "loop-opts") in missed
+
+
+UNCALLED_FUNCTION_SOURCE = """\
+int helper(int x) {
+  if (x) { return 1; }
+  return 2;
+}
+int main() {
+  return 0;
+}
+"""
+
+
+def test_markers_in_uncalled_functions_are_not_missed_optimizations(engine):
+    """External linkage: the compiler may not delete helper, so its dead
+    markers are not the optimizer's fault."""
+    findings = findings_for(engine, UNCALLED_FUNCTION_SOURCE)
+    assert not [f for f in findings if f.kind == MISSED_OPTIMIZATION
+                and f.marker.function == "helper"]
+
+
+def test_gallery_produces_no_unsound_eliminations(engine):
+    for source in (GCC_CONSTPROP_SOURCE, GCC_FOLD_SOURCE, LLVM_LOOP_SOURCE,
+                   OPAQUE_BRANCH_SOURCE, DEAD_LOOP_SOURCE,
+                   UNCALLED_FUNCTION_SOURCE):
+        assert not [f for f in findings_for(engine, source)
+                    if f.kind == UNSOUND_ELIMINATION]
+
+
+# -- reduction through the hierarchical reducer --------------------------------
+
+PADDED_REGRESSION_SOURCE = """\
+int g = 7;
+int unused_global[4] = {1, 2, 3, 4};
+int helper(int x) { return x + g; }
+int main() {
+  int c = 0;
+  int noise = helper(3);
+  noise = noise * 2;
+  if (c) { c = 5; }
+  for (int i = 0; i < 2; i++) { g = g + 1; }
+  return c;
+}
+"""
+
+
+def test_regression_findings_shrink_through_the_reducer(engine):
+    findings = [f for f in findings_for(engine, PADDED_REGRESSION_SOURCE)
+                if f.kind == REGRESSION and f.responsible_pass == "constprop"]
+    assert findings
+    finding = findings[0]
+    reduced, result = reduce_marker_finding(finding)
+    assert reduced.bucket == finding.bucket          # signature preserved
+    assert result.reduced_tokens < result.original_tokens / 2
+    # The reduced program must still satisfy the finding's predicate.
+    assert make_marker_predicate(reduced)(reduced.source)

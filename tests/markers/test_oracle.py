@@ -1,0 +1,90 @@
+"""Tests for the elimination oracle: liveness and per-config survival."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compilers import CompilationCache
+from repro.markers import EliminationOracle, MarkerConfig, MarkerPlanter
+
+SOURCE = """\
+int main() {
+  int c = 0;
+  if (c) { c = 5; }
+  for (int i = 0; i < 3; i++) { c += 1; }
+  return c;
+}
+"""
+
+
+@pytest.fixture()
+def marked():
+    return MarkerPlanter().plant(SOURCE)
+
+
+def test_liveness_records_reached_markers_in_order(marked):
+    oracle = EliminationOracle()
+    sequence = oracle.liveness(marked)
+    by_context = {site.name: site.context for site in marked.sites}
+    assert [by_context[name] for name in sequence] == \
+        ["fn-entry", "if-else", "loop-body", "loop-body", "loop-body"]
+    # The dead if-then marker is never reached.
+    then_marker = next(s.name for s in marked.sites if s.context == "if-then")
+    assert then_marker not in oracle.live_set(marked)
+
+
+def test_elimination_at_o2_removes_provably_dead_branch(marked):
+    oracle = EliminationOracle()
+    then_marker = next(s.name for s in marked.sites if s.context == "if-then")
+    o0 = oracle.compile_one(marked, MarkerConfig("llvm", 18, "-O0"))
+    o2 = oracle.compile_one(marked, MarkerConfig("llvm", 18, "-O2"))
+    assert then_marker in o0.retained       # -O0 keeps everything
+    assert then_marker not in o2.retained   # constprop+fold prove it dead
+    assert o2.eliminated(marked) == {then_marker}
+
+
+def test_survey_covers_every_config(marked):
+    oracle = EliminationOracle()
+    configs = [MarkerConfig("gcc", v, lvl)
+               for v in (10, 14) for lvl in ("-O0", "-O2")]
+    outcomes = oracle.survey(marked, configs)
+    assert set(outcomes) == set(configs)
+    for config, outcome in outcomes.items():
+        assert outcome.config == config
+        assert outcome.retained <= set(marked.marker_names)
+        assert outcome.pipeline == tuple(outcome.pipeline)
+
+
+def test_versioned_pipelines_differ_across_releases(marked):
+    oracle = EliminationOracle()
+    # The seeded gcc constprop defect window is [11, 12): -O2 loses the pass.
+    healthy = oracle.compile_one(marked, MarkerConfig("gcc", 10, "-O2"))
+    broken = oracle.compile_one(marked, MarkerConfig("gcc", 11, "-O2"))
+    assert "constprop" in healthy.pipeline
+    assert "constprop" not in broken.pipeline
+    assert healthy.retained < broken.retained
+
+
+def test_shared_cache_does_not_change_outcomes(marked):
+    cold = EliminationOracle(cache=CompilationCache())
+    warm = EliminationOracle(cache=CompilationCache())
+    configs = [MarkerConfig("llvm", v, lvl)
+               for v in (13, 18) for lvl in ("-O0", "-O2", "-O3")]
+    first = warm.survey(marked, configs)
+    second = warm.survey(marked, configs)   # cache hits all the way
+    reference = cold.survey(marked, configs)
+    for config in configs:
+        assert first[config].retained == reference[config].retained
+        assert second[config].retained == reference[config].retained
+        assert first[config].passes_run == reference[config].passes_run
+    assert warm.cache.stats()["hits"] > 0
+
+
+def test_compilers_are_memoized_per_version():
+    oracle = EliminationOracle()
+    first = oracle._compiler_for("gcc", 10)
+    again = oracle._compiler_for("gcc", 10)
+    other = oracle._compiler_for("gcc", 11)
+    assert first is again
+    assert first is not other
+    assert first.versioned_pipelines

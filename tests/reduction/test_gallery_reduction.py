@@ -27,6 +27,10 @@ from repro.reduction import (
 )
 from repro.reduction.reducer import token_count
 
+# Tier-2: the gallery reduces a whole crash set (a ~15s session fixture
+# plus per-entry reductions); CI runs it in the dedicated slow job.
+pytestmark = pytest.mark.slow
+
 EXAMPLES_DIR = str(Path(__file__).resolve().parents[2] / "examples")
 if EXAMPLES_DIR not in sys.path:  # import the gallery definitions themselves
     sys.path.insert(0, EXAMPLES_DIR)
