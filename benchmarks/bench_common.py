@@ -34,6 +34,25 @@ def bench_print(*parts) -> None:
         handle.write(" ".join(str(p) for p in parts) + "\n")
 
 
+def write_bench_record(name: str, **fields) -> str:
+    """Persist one benchmark's machine-readable result.
+
+    Writes ``artifacts/bench_<name>.json`` (the same gitignored directory
+    the human-readable report lands in; CI uploads both), so throughput
+    numbers can be tracked across runs without scraping captured stdout.
+    Returns the written path."""
+    import json
+    import os
+    artifacts = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             os.pardir, "artifacts")
+    os.makedirs(artifacts, exist_ok=True)
+    path = os.path.join(artifacts, f"bench_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"bench": name, **fields}, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 def print_table(title: str, headers, rows) -> None:
     from repro.utils.text import format_table
     bench_print()

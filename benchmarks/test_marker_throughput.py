@@ -23,7 +23,7 @@ from __future__ import annotations
 import os
 import time
 
-from bench_common import bench_print, run_once
+from bench_common import bench_print, run_once, write_bench_record
 
 from repro.compilers import all_versions, make_compiler
 from repro.compilers.cache import CompilationCache
@@ -105,6 +105,16 @@ def test_marker_matrix_cache_speedup(benchmark):
                 f"{cache_stats['misses']} misses, "
                 f"{cache_stats['optimized_entries']} optimizer artifacts "
                 f"for {len(MATRIX)} configs")
+    write_bench_record(
+        "marker_throughput",
+        matrix_configs=len(MATRIX),
+        uncached_ms=round(uncached_time * 1000, 2),
+        cached_cold_ms=round(cached_time * 1000, 2),
+        speedup=round(speedup, 3),
+        min_speedup=MIN_SPEEDUP,
+        cache_hits=cache_stats["hits"],
+        cache_misses=cache_stats["misses"])
+
     assert speedup >= MIN_SPEEDUP, (
         f"shared compilation cache gives only {speedup:.2f}x over uncached "
         f"(required: {MIN_SPEEDUP}x)")

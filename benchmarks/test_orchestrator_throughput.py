@@ -12,7 +12,7 @@ speedup itself is reported but not asserted, since CI machines vary.
 import os
 import time
 
-from bench_common import bench_print, run_once
+from bench_common import bench_print, run_once, write_bench_record
 
 from repro.core import CampaignConfig, FuzzingCampaign
 from repro.orchestrator import OrchestratedCampaign
@@ -46,6 +46,15 @@ def test_orchestrator_throughput(benchmark):
                 f"in {pooled_seconds:6.2f}s = {pooled_rate:6.2f}/s")
     bench_print(f"speedup         : {pooled_rate / serial_rate:4.2f}x "
                 f"(on {os.cpu_count()} CPU core(s); ~1x is expected on 1)")
+
+    write_bench_record(
+        "orchestrator_throughput",
+        workers=WORKERS,
+        programs_tested=serial.stats.programs_tested,
+        serial_programs_per_sec=round(serial_rate, 2),
+        pooled_programs_per_sec=round(pooled_rate, 2),
+        speedup=round(pooled_rate / serial_rate, 3),
+        cpu_count=os.cpu_count())
 
     assert serial.stats.programs_tested > 0
     assert pooled.stats.programs_tested == serial.stats.programs_tested

@@ -26,7 +26,7 @@ from __future__ import annotations
 import os
 import time
 
-from bench_common import bench_print, run_once
+from bench_common import bench_print, run_once, write_bench_record
 
 from repro.core.differential import DifferentialTester, TestConfig
 from repro.core.ub_types import ALL_UB_TYPES
@@ -116,6 +116,15 @@ def test_reduction_throughput(benchmark):
                 f"{result.predicate_evaluations} evaluations")
     bench_print(f"uncached      : {uncached_rate:7.1f} evals/s")
     bench_print(f"shared cache  : {cached_rate:7.1f} evals/s = {speedup:4.2f}x")
+
+    write_bench_record(
+        "reduction_throughput",
+        matrix_configs=len(MATRIX),
+        replay_candidates=len(replay_set),
+        uncached_evals_per_sec=round(uncached_rate, 1),
+        cached_evals_per_sec=round(cached_rate, 1),
+        speedup=round(speedup, 3),
+        min_speedup=MIN_SPEEDUP)
 
     assert speedup >= MIN_SPEEDUP, (
         f"shared compilation must screen candidates >= {MIN_SPEEDUP}x "

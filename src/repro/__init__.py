@@ -22,7 +22,9 @@ This package reproduces, in pure Python, the system described in
 * :mod:`repro.coverage`   — coverage measurement (Table 5);
 * :mod:`repro.analysis`   — experiment drivers and table/figure renderers;
 * :mod:`repro.orchestrator` — sharded worker-pool campaign execution with
-                            corpus storage, crash dedup and checkpoint/resume.
+                            corpus storage, crash dedup and checkpoint/resume;
+* :mod:`repro.telemetry`  — structured span tracing, cross-process metrics
+                            and per-stage campaign profiling.
 
 See ``docs/ARCHITECTURE.md`` for the full pipeline walk-through and
 ``docs/API.md`` for the public API conventions.
@@ -79,6 +81,13 @@ from repro.reduction import (
     reduce_fn_candidate,
     reduce_marker_finding,
 )
+from repro.telemetry import (
+    CampaignProfile,
+    MetricsRegistry,
+    Tracer,
+    configure_logging,
+    load_profile,
+)
 from repro.seedgen import (
     CsmithGenerator,
     CsmithNoSafeGenerator,
@@ -105,6 +114,8 @@ __all__ = [
     "MarkerCampaignResult", "MarkerConfig", "MarkerEngine", "MarkerFinding",
     "MarkerPlanter", "MarkerSite",
     "CorpusStore", "OrchestratedCampaign", "PoolExecutor", "SerialExecutor",
+    "CampaignProfile", "MetricsRegistry", "Tracer", "configure_logging",
+    "load_profile",
     "CsmithGenerator", "CsmithNoSafeGenerator", "GeneratorConfig",
     "MusicMutator", "SeedProgram", "generate_juliet_suite",
     "ExecutionResult", "SanitizerReport",

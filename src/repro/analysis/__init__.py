@@ -33,6 +33,7 @@ from repro.analysis.tables import (
     table_marker_findings,
     table_marker_survival,
     table_reduction_quality,
+    table_stage_profile,
 )
 
 __all__ = [
@@ -48,5 +49,5 @@ __all__ = [
     "bug_summary_rows", "table2_sanitizer_support", "table3_bug_status",
     "table4_generator_comparison", "table5_coverage", "table6_root_causes",
     "table_marker_findings", "table_marker_survival",
-    "table_reduction_quality",
+    "table_reduction_quality", "table_stage_profile",
 ]

@@ -175,6 +175,27 @@ def table_marker_findings(result) -> Table:
     return headers, rows
 
 
+def table_stage_profile(profile) -> Table:
+    """Where-time-goes breakdown of one campaign, per pipeline stage.
+
+    *profile* is a :class:`~repro.telemetry.profile.CampaignProfile` (from
+    :func:`repro.telemetry.load_profile`).  ``Total`` is inclusive stage
+    time; ``Self`` excludes nested stages (e.g. the compiles an oracle run
+    triggers), so the ``Share`` column — self time over total self time —
+    sums to ~100% and answers "which stage should I optimize".
+    """
+    headers = ["Stage", "Calls", "Total (s)", "Self (s)", "Mean (ms)", "Share"]
+    total_self = sum(stage.self_seconds for stage in profile.stages) or 1.0
+    rows: Rows = []
+    for stage in profile.stages:
+        rows.append([stage.name, stage.calls,
+                     f"{stage.total_seconds:.3f}",
+                     f"{stage.self_seconds:.3f}",
+                     f"{stage.mean_ms:.2f}",
+                     f"{100 * stage.self_seconds / total_self:.1f}%"])
+    return headers, rows
+
+
 def bug_summary_rows(reports: Sequence[BugReport]) -> Rows:
     """A flat listing of found bugs (used by examples and docs)."""
     rows: Rows = []

@@ -27,11 +27,15 @@ cache is additionally lock-protected so threaded callers cannot corrupt it).
 from __future__ import annotations
 
 import hashlib
+import logging
 import threading
 from collections import OrderedDict
 from typing import Callable, Optional, Tuple
 
 from repro.cdsl import ast_nodes as ast
+from repro.telemetry import runtime as telemetry
+
+logger = logging.getLogger(__name__)
 
 #: Default bound for each LRU layer.  An entry is one parsed/optimized AST
 #: (a few hundred KB for csmith-sized programs), so the default keeps the
@@ -94,11 +98,16 @@ class CompilationCache:
             unit = self._frontend.get(fingerprint)
             if unit is not None:
                 self.hits += 1
+                telemetry.inc("cache.hits")
                 return unit
-        unit = builder()
+        with telemetry.stage("frontend"):
+            unit = builder()
         with self._lock:
             self.misses += 1
+            evictions_before = self._frontend.evictions
             self._frontend.put(fingerprint, unit)
+            evicted = self._frontend.evictions - evictions_before
+        self._note_miss(evicted)
         return unit
 
     def optimized(self, fingerprint: str, compiler: str, version: int,
@@ -119,12 +128,25 @@ class CompilationCache:
             entry = self._optimized.get(key)
             if entry is not None:
                 self.hits += 1
+                telemetry.inc("cache.hits")
                 return entry
-        entry = builder()
+        with telemetry.stage("optimize", compiler=compiler, opt=opt_level):
+            entry = builder()
         with self._lock:
             self.misses += 1
+            evictions_before = self._optimized.evictions
             self._optimized.put(key, entry)
+            evicted = self._optimized.evictions - evictions_before
+        self._note_miss(evicted)
         return entry
+
+    @staticmethod
+    def _note_miss(evicted: int) -> None:
+        registry = telemetry.metrics()
+        if registry is not None:
+            registry.inc("cache.misses")
+            if evicted:
+                registry.inc("cache.evictions", evicted)
 
     # -- introspection --------------------------------------------------------
 
@@ -145,6 +167,8 @@ class CompilationCache:
             }
 
     def clear(self) -> None:
+        logger.debug("clearing compilation cache (%d hits / %d misses)",
+                     self.hits, self.misses)
         with self._lock:
             self._frontend = _LRU(self._frontend.max_entries)
             self._optimized = _LRU(self._optimized.max_entries)

@@ -23,6 +23,7 @@ from repro.core.crash_site import OracleVerdict, is_sanitizer_bug_from_results
 from repro.core.insertion import UBProgram
 from repro.core.ub_types import detects, sanitizers_for
 from repro.sanitizers.registry import sanitizers_supported_by
+from repro.telemetry import runtime as telemetry
 from repro.utils.errors import CompilationError
 from repro.vm.errors import ExecutionResult
 
@@ -160,8 +161,20 @@ class DifferentialTester:
                                       CompileOptions(opt_level=config.opt_level,
                                                      sanitizer=config.sanitizer))
         except CompilationError as exc:
+            telemetry.inc("compile.errors")
             return ConfigOutcome(config, None, error=str(exc))
-        result = binary.run(max_steps=self.max_steps)
+        with telemetry.stage("execute", compiler=config.compiler,
+                             opt=config.opt_level,
+                             sanitizer=config.sanitizer):
+            result = binary.run(max_steps=self.max_steps)
+        registry = telemetry.metrics()
+        if registry is not None:
+            if result.crashed and result.report is not None:
+                registry.inc("verdict.report")
+            elif result.exited_normally:
+                registry.inc("verdict.silent")
+            else:
+                registry.inc("verdict.abnormal")
         return ConfigOutcome(config, result)
 
     def test(self, program: UBProgram,
@@ -198,6 +211,14 @@ class DifferentialTester:
 
         result.wrong_report_candidates.extend(
             self._wrong_reports(program, detectors))
+        registry = telemetry.metrics()
+        if registry is not None:
+            registry.inc("diff.programs")
+            registry.inc("diff.fn_candidates", len(result.fn_candidates))
+            registry.inc("diff.wrong_reports",
+                         len(result.wrong_report_candidates))
+            registry.inc("diff.opt_discrepancies",
+                         result.optimization_discrepancies)
         return result
 
     @staticmethod

@@ -17,6 +17,7 @@ tables.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
@@ -37,7 +38,10 @@ from repro.core.ubgen import UBGenerator
 from repro.sanitizers.defects import Defect, default_defects
 from repro.seedgen.config import GeneratorConfig
 from repro.seedgen.csmith import CsmithGenerator
+from repro.telemetry import runtime as telemetry
 from repro.utils.errors import GenerationError
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -141,6 +145,10 @@ class SeedBatch:
     programs_generated: Dict[UBType, int] = field(default_factory=dict)
     diff_results: List[DifferentialResult] = field(default_factory=list)
     duration_seconds: float = 0.0
+    #: Telemetry captured while this seed ran (see
+    #: :func:`repro.telemetry.seed_scope`); ``None`` when telemetry is
+    #: disabled or the batch was restored from a checkpoint record.
+    telemetry: Optional[dict] = None
 
     @property
     def programs_tested(self) -> int:
@@ -222,13 +230,24 @@ class FuzzingCampaign:
         seed); pool workers leave it unset since they cannot see the global
         budget — :meth:`collect` truncates their excess instead.
         """
+        with telemetry.seed_scope(seed_index) as scope:
+            with telemetry.span("seed", seed=seed_index):
+                batch = self._run_seed(seed_index, test_budget)
+            if scope is not None:
+                batch.telemetry = scope.payload()
+        return batch
+
+    def _run_seed(self, seed_index: int,
+                  test_budget: Optional[int]) -> SeedBatch:
         start = time.time()
         try:
-            seed = self.seed_generator.generate(seed_index)
+            with telemetry.stage("generate", seed=seed_index):
+                seed = self.seed_generator.generate(seed_index)
         except GenerationError:
             return SeedBatch(seed_index=seed_index, generated=False,
                              duration_seconds=time.time() - start)
-        by_type = self.ub_generator.generate_all(seed, self.config.ub_types)
+        with telemetry.stage("generate", seed=seed_index, kind="ub"):
+            by_type = self.ub_generator.generate_all(seed, self.config.ub_types)
         counts: Dict[UBType, int] = {}
         programs: List[UBProgram] = []
         for ub_type, generated in by_type.items():
@@ -236,7 +255,12 @@ class FuzzingCampaign:
             programs.extend(generated)
         if test_budget is not None:
             programs = programs[:test_budget]
-        diff_results = [self.tester.test(program) for program in programs]
+        diff_results = []
+        for program in programs:
+            with telemetry.span("test", ub=program.ub_type.value):
+                diff_results.append(self.tester.test(program))
+        logger.debug("seed %d: %d programs in %.2fs", seed_index,
+                     len(programs), time.time() - start)
         return SeedBatch(seed_index=seed_index, generated=True,
                          programs_generated=counts, diff_results=diff_results,
                          duration_seconds=time.time() - start)
@@ -259,6 +283,9 @@ class FuzzingCampaign:
         remaining = self.config.max_programs_total
 
         for batch in batches:
+            # The single telemetry merge point, in seed order: worker-side
+            # scope payloads fold into the parent session here.
+            telemetry.merge_batch(batch.telemetry)
             if not batch.generated:
                 continue
             stats.seeds_used += 1

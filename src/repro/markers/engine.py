@@ -29,6 +29,7 @@ pool shard seeds while staying bit-identical to a serial run.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -52,7 +53,10 @@ from repro.markers.oracle import (
 )
 from repro.seedgen.config import GeneratorConfig
 from repro.seedgen.csmith import CsmithGenerator
+from repro.telemetry import runtime as telemetry
 from repro.utils.errors import GenerationError
+
+logger = logging.getLogger(__name__)
 
 MISSED_OPTIMIZATION = "missed-optimization"
 REGRESSION = "regression"
@@ -189,6 +193,9 @@ class MarkerBatch:
     #: Compatibility with the orchestrator's throughput monitor, which
     #: counts per-batch work items and FN candidates for its status line.
     diff_results: tuple = ()
+    #: Telemetry captured while this seed ran (see
+    #: :func:`repro.telemetry.seed_scope`); ``None`` when disabled.
+    telemetry: Optional[dict] = None
 
     @property
     def programs_tested(self) -> int:
@@ -267,13 +274,23 @@ class MarkerEngine:
 
     def run_seed(self, seed_index: int) -> MarkerBatch:
         """Process one seed: generate, instrument, survey, classify."""
+        with telemetry.seed_scope(seed_index) as scope:
+            with telemetry.span("seed", seed=seed_index):
+                batch = self._run_seed(seed_index)
+            if scope is not None:
+                batch.telemetry = scope.payload()
+        return batch
+
+    def _run_seed(self, seed_index: int) -> MarkerBatch:
         start = time.time()
         try:
-            seed = self.seed_generator.generate(seed_index)
+            with telemetry.stage("generate", seed=seed_index):
+                seed = self.seed_generator.generate(seed_index)
         except GenerationError:
             return MarkerBatch(seed_index=seed_index, generated=False,
                                duration_seconds=time.time() - start)
-        marked = self.planter.plant(seed.source, seed_index=seed_index)
+        with telemetry.stage("generate", seed=seed_index, kind="markers"):
+            marked = self.planter.plant(seed.source, seed_index=seed_index)
         live = frozenset(self.oracle.liveness(marked))
         findings: List[MarkerFinding] = []
         survival: Dict[str, ConfigSurvival] = {}
@@ -289,6 +306,18 @@ class MarkerEngine:
                     retained=len(outcome.retained),
                     dead_retained=len(outcome.retained - live),
                     pipeline=outcome.pipeline)
+        registry = telemetry.metrics()
+        if registry is not None:
+            registry.inc("marker.planted", len(marked.sites))
+            registry.inc("marker.live", len(live))
+            registry.inc("marker.configs", configs_surveyed)
+            registry.inc("marker.retained",
+                         sum(s.retained for s in survival.values()))
+            registry.inc("marker.dead_retained",
+                         sum(s.dead_retained for s in survival.values()))
+            registry.inc("marker.findings", len(findings))
+        logger.debug("seed %d: %d markers, %d findings in %.2fs", seed_index,
+                     len(marked.sites), len(findings), time.time() - start)
         return MarkerBatch(seed_index=seed_index, generated=True,
                            planted=len(marked.sites),
                            live_markers=len(live),
@@ -303,6 +332,9 @@ class MarkerEngine:
         buckets: Dict[tuple, MarkerBucket] = {}
         survival: Dict[str, ConfigSurvival] = {}
         for batch in batches:
+            # The single telemetry merge point, in seed order (the marker
+            # twin of FuzzingCampaign.collect).
+            telemetry.merge_batch(batch.telemetry)
             if not batch.generated:
                 continue
             stats.seeds_used += 1

@@ -32,6 +32,7 @@ from repro.cdsl.sema import analyze
 from repro.cdsl.visitor import fast_clone
 from repro.markers.instrument import MarkedProgram, marker_calls
 from repro.optim.pipelines import effective_pass_names
+from repro.telemetry import runtime as telemetry
 from repro.vm.interpreter import run_program
 
 DEFAULT_MAX_STEPS = 150_000
@@ -106,9 +107,10 @@ class EliminationOracle:
         unit, sema = analyzed if analyzed is not None \
             else self.analyzed_unit(marked.source)
         reached: List[str] = []
-        run_program(unit, sema, max_steps=self.max_steps,
-                    call_hook=lambda name: reached.append(name)
-                    if name.startswith(marked.prefix) else None)
+        with telemetry.stage("oracle", kind="liveness"):
+            run_program(unit, sema, max_steps=self.max_steps,
+                        call_hook=lambda name: reached.append(name)
+                        if name.startswith(marked.prefix) else None)
         return tuple(reached)
 
     def live_set(self, marked: MarkedProgram) -> frozenset:
@@ -121,8 +123,9 @@ class EliminationOracle:
                configs: Sequence[MarkerConfig]) -> Dict[MarkerConfig, MarkerOutcome]:
         """Compile *marked* under every config; map each to its outcome."""
         outcomes: Dict[MarkerConfig, MarkerOutcome] = {}
-        for config in configs:
-            outcomes[config] = self.compile_one(marked, config)
+        with telemetry.stage("oracle", kind="survey", configs=len(configs)):
+            for config in configs:
+                outcomes[config] = self.compile_one(marked, config)
         return outcomes
 
     def compile_one(self, marked: MarkedProgram,

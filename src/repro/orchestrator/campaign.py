@@ -24,6 +24,7 @@ with the production machinery the serial loop lacks:
 
 from __future__ import annotations
 
+import logging
 import os
 from typing import Callable, Dict, Iterator, List, Optional, Union
 
@@ -41,8 +42,14 @@ from repro.orchestrator.corpus import (
     bucket_slug,
 )
 from repro.orchestrator.executor import Executor, make_executor
+from repro.orchestrator.records import config_fingerprint
 from repro.orchestrator.stats import ThroughputMonitor
 from repro.reduction import ReductionRecord, record_for, reduce_fn_candidate
+from repro.telemetry import runtime as telemetry
+from repro.telemetry.profile import telemetry_paths
+from repro.utils.io import atomic_write_json
+
+logger = logging.getLogger(__name__)
 
 
 class OrchestratedCampaign:
@@ -69,7 +76,8 @@ class OrchestratedCampaign:
                  progress: Optional[Callable[[str], None]] = None,
                  max_seeds_per_session: Optional[int] = None,
                  reduce: bool = False,
-                 reduce_jobs: int = 1) -> None:
+                 reduce_jobs: int = 1,
+                 trace: bool = False) -> None:
         self.config = config if config is not None else CampaignConfig()
         if not isinstance(self.config, CampaignConfig):
             if checkpoint_path is not None or corpus is not None:
@@ -92,12 +100,20 @@ class OrchestratedCampaign:
         self.max_seeds_per_session = max_seeds_per_session
         self.reduce = reduce
         self.reduce_jobs = reduce_jobs
+        self.trace = trace
+        if trace and (self.corpus is None or self.corpus.root is None):
+            raise ValueError(
+                "trace=True requires a persistent corpus (corpus=<dir>) to "
+                "hold telemetry/trace.jsonl")
         #: Populated by run(); exposes live throughput/ETA while running.
         self.monitor: Optional[ThroughputMonitor] = None
         #: Seed indices restored from the checkpoint on the last run().
         self.resumed_indices: list[int] = []
         #: Per-bucket reduction records from the last run() (``reduce=True``).
         self.reductions: List[ReductionRecord] = []
+        #: Merged telemetry summary of the last run(): deterministic metric
+        #: totals plus the compilation-cache hit/miss/eviction counters.
+        self.telemetry_summary: Optional[dict] = None
 
     # -- public ----------------------------------------------------------------
 
@@ -106,9 +122,28 @@ class OrchestratedCampaign:
 
         Returns a :class:`~repro.core.fuzzer.CampaignResult` (fuzzing
         config) or a :class:`~repro.markers.engine.MarkerCampaignResult`
-        (marker config)."""
-        if not isinstance(self.config, CampaignConfig):
-            return self._run_markers()
+        (marker config).
+
+        Metrics are collected for every orchestrated run (the overhead is a
+        handful of counter bumps per compile); ``trace=True`` additionally
+        records spans to ``<corpus>/telemetry/trace.jsonl``.  An already
+        active :func:`repro.telemetry.enable` session is reused (and left
+        open) instead."""
+        session, owned = self._begin_telemetry()
+        try:
+            with telemetry.span("campaign", workers=self.executor.workers,
+                                seeds=self.config.num_seeds):
+                if isinstance(self.config, CampaignConfig):
+                    result = self._run_fuzzing()
+                else:
+                    result = self._run_markers()
+            self._finish_telemetry(session)
+            return result
+        finally:
+            if owned:
+                telemetry.disable()
+
+    def _run_fuzzing(self) -> CampaignResult:
         campaign = FuzzingCampaign(self.config)
         completed: Dict[int, SeedBatch] = (self.checkpoint.load()
                                            if self.checkpoint is not None else {})
@@ -117,6 +152,9 @@ class OrchestratedCampaign:
                    if index not in completed]
         if self.max_seeds_per_session is not None:
             pending = pending[:self.max_seeds_per_session]
+        logger.info("campaign start: %d seeds (%d restored), %d workers",
+                    self.config.num_seeds, len(completed),
+                    self.executor.workers)
         self.monitor = ThroughputMonitor(self.config.num_seeds, emit=self.progress)
         self.monitor.start()
         result = campaign.collect(self._merged_batches(completed, pending))
@@ -124,7 +162,57 @@ class OrchestratedCampaign:
             self.reductions = self._reduce_buckets(campaign, result)
             if self.corpus is not None:
                 self.corpus.flush()
+        logger.info("campaign finished: %d seeds, %d programs, %d reports "
+                    "in %.1fs", result.stats.seeds_used,
+                    result.stats.programs_tested, len(result.bug_reports),
+                    result.stats.duration_seconds)
         return result
+
+    # -- telemetry lifecycle ----------------------------------------------------
+
+    def _begin_telemetry(self):
+        """Install (or adopt) the telemetry session for this run.
+
+        Returns ``(session, owned)``; an externally enabled session is
+        adopted and never torn down here."""
+        existing = telemetry.current()
+        if existing is not None:
+            return existing, False
+        trace_path = None
+        if self.trace:
+            trace_path = telemetry_paths(self.corpus.root)[0]
+        session = telemetry.enable(campaign=config_fingerprint(self.config),
+                                   tracing=self.trace, trace_path=trace_path)
+        return session, True
+
+    def _finish_telemetry(self, session) -> None:
+        """Summarize merged metrics; persist them with the campaign state."""
+        if session is None:
+            return
+        registry = session.metrics
+        summary = {
+            "campaign": session.campaign,
+            "totals": registry.deterministic_totals(),
+            "cache": {
+                "hits": registry.counter_value("cache.hits"),
+                "misses": registry.counter_value("cache.misses"),
+                "evictions": registry.counter_value("cache.evictions"),
+            },
+        }
+        self.telemetry_summary = summary
+        if self.checkpoint is not None:
+            self.checkpoint.set_metadata({"telemetry": summary})
+            self.checkpoint.flush()
+        if isinstance(self.config, CampaignConfig) and self.corpus is not None:
+            self.corpus.telemetry = summary
+            if self.corpus.root is not None:
+                metrics_path = telemetry_paths(self.corpus.root)[1]
+                atomic_write_json(metrics_path, {
+                    "version": 1,
+                    "campaign": session.campaign,
+                    "metrics": registry.to_json(),
+                })
+            self.corpus.flush()
 
     # -- marker mode ------------------------------------------------------------
 

@@ -14,8 +14,11 @@ reuse can never produce a mixed bug set.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from typing import Dict, Optional
+
+logger = logging.getLogger(__name__)
 
 from repro.core.fuzzer import CampaignConfig, SeedBatch
 from repro.orchestrator.records import (
@@ -51,6 +54,10 @@ class CampaignCheckpoint:
         self._records: Dict[int, dict] = {}
         self._loaded = False
         self._unflushed = 0
+        #: Free-form campaign metadata persisted alongside the seeds — the
+        #: orchestrator records the merged telemetry summary (cache
+        #: hit/miss/eviction counters) here at the end of each session.
+        self.metadata: Dict[str, object] = {}
 
     # -- reading ---------------------------------------------------------------
 
@@ -75,6 +82,9 @@ class CampaignCheckpoint:
                 f"{snapshot.get('fingerprint')!r}, not {self.fingerprint!r}")
         self._records = {int(key): value
                          for key, value in snapshot.get("seeds", {}).items()}
+        self.metadata = dict(snapshot.get("metadata", {}))
+        logger.info("loaded checkpoint %s: %d completed seeds",
+                    self.path, len(self._records))
         return {index: batch_from_record(record)
                 for index, record in self._records.items()}
 
@@ -94,6 +104,14 @@ class CampaignCheckpoint:
         if self._unflushed >= self.flush_interval:
             self.flush()
 
+    def set_metadata(self, metadata: Dict[str, object]) -> None:
+        """Merge campaign metadata into the snapshot; flushed on next write.
+
+        Metadata never participates in the fingerprint check — it is
+        observability (telemetry summaries), not campaign state."""
+        self.metadata.update(metadata)
+        self._unflushed = max(self._unflushed, 1)
+
     def flush(self) -> None:
         """Write the snapshot now, if there is anything unflushed."""
         if self._unflushed == 0:
@@ -108,4 +126,8 @@ class CampaignCheckpoint:
             "seeds": {str(index): record
                       for index, record in sorted(self._records.items())},
         }
+        if self.metadata:
+            snapshot["metadata"] = self.metadata
+        logger.debug("flushing checkpoint %s (%d seeds)", self.path,
+                     len(self._records))
         atomic_write_json(self.path, snapshot)

@@ -3,22 +3,38 @@
 Usage::
 
     python -m repro.orchestrator --seeds 20 --workers 4 \
-        --checkpoint campaign.json --corpus corpus/
+        --checkpoint campaign.json --corpus corpus/ --trace
 
 Interrupt it at any point; re-running the same command resumes from the
 checkpoint and finishes with the same bug set as an uninterrupted run.
+
+``--trace`` persists span-level telemetry under ``<corpus>/telemetry/``;
+replay it into a per-stage profile with::
+
+    python -m repro.orchestrator stats corpus/
+
+Status output goes through :mod:`logging` (configure with ``-v``/``-q``);
+the result summary itself prints to stdout (``--json`` for machines).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
+import os
 import sys
 from typing import List, Optional, Sequence
 
 from repro.core.fuzzer import CampaignConfig
 from repro.core.ub_types import ALL_UB_TYPES, UBType
 from repro.orchestrator.campaign import OrchestratedCampaign
+from repro.telemetry import configure_logging
+
+logger = logging.getLogger(__name__)
+#: Progress/status lines (per-seed throughput, reduction notices) stream
+#: through this logger at INFO — visible by default, silenced by --quiet.
+_PROGRESS = logging.getLogger("repro.orchestrator.progress")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,10 +91,31 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-seeds-per-session", type=int, default=None,
                         help="process at most N new seeds, then stop "
                              "(resume later from the checkpoint)")
-    parser.add_argument("--quiet", action="store_true",
-                        help="suppress per-seed progress lines")
+    parser.add_argument("--trace", action="store_true",
+                        help="record span-level telemetry to "
+                             "<corpus>/telemetry/trace.jsonl (requires "
+                             "--corpus; replay with the 'stats' subcommand)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress per-seed progress lines and other "
+                             "status logging (warnings still shown)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more status logging (-v: info, -vv: debug)")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="print a machine-readable JSON summary")
+    return parser
+
+
+def build_stats_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.orchestrator stats",
+        description="Replay the telemetry a traced campaign persisted "
+                    "(telemetry/trace.jsonl + metrics.json) into a "
+                    "per-stage time/cache/VM profile.")
+    parser.add_argument("campaign_dir",
+                        help="campaign corpus directory (the --corpus of "
+                             "the traced run)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the profile as JSON")
     return parser
 
 
@@ -178,7 +215,13 @@ def config_from_args(args: argparse.Namespace):
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv[:1] == ["stats"]:
+        return _stats_main(argv[1:])
     args = build_parser().parse_args(argv)
+    configure_logging(0 if args.quiet else 1 + args.verbose)
     try:
         return _run(args)
     except CLIError as exc:
@@ -186,12 +229,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
 
+def _progress(line: str) -> None:
+    _PROGRESS.info("%s", line)
+
+
 def _run(args: argparse.Namespace) -> int:
     from repro.orchestrator.checkpoint import CheckpointMismatch
     config = config_from_args(args)
     _check_compilers(config.compilers)
     _check_opt_levels(config.opt_levels)
-    progress = None if args.quiet else (lambda line: print(line, file=sys.stderr))
+    progress = None if args.quiet else _progress
     if args.mode == "markers":
         if args.checkpoint is not None or args.corpus is not None:
             raise CLIError("--checkpoint/--corpus are fuzzing-only "
@@ -200,7 +247,13 @@ def _run(args: argparse.Namespace) -> int:
             raise CLIError("--max-seeds-per-session is fuzzing-only: "
                            "without a checkpoint a capped marker campaign "
                            "could never process its remaining seeds")
+        if args.trace:
+            raise CLIError("--trace is fuzzing-only: marker campaigns have "
+                           "no corpus directory to persist the trace into")
         return _run_markers(args, config, progress)
+    if args.trace and args.corpus is None:
+        raise CLIError("--trace requires --corpus DIR (the trace persists "
+                       "as <corpus>/telemetry/trace.jsonl)")
     orchestrated = OrchestratedCampaign(
         config,
         workers=args.workers,
@@ -210,7 +263,8 @@ def _run(args: argparse.Namespace) -> int:
         progress=progress,
         max_seeds_per_session=args.max_seeds_per_session,
         reduce=args.reduce,
-        reduce_jobs=args.reduce_jobs)
+        reduce_jobs=args.reduce_jobs,
+        trace=args.trace)
     try:
         result = orchestrated.run()
     except CheckpointMismatch as exc:
@@ -245,6 +299,10 @@ def _run(args: argparse.Namespace) -> int:
         summary["corpus"] = {"programs": corpus_summary["programs"],
                              "crashes": corpus_summary["crashes"],
                              "unique_crashes": corpus_summary["unique_crashes"]}
+    if orchestrated.telemetry_summary is not None:
+        summary["cache"] = orchestrated.telemetry_summary["cache"]
+    if args.trace:
+        summary["telemetry_dir"] = os.path.join(args.corpus, "telemetry")
     if orchestrated.reductions:
         summary["reductions"] = [record.to_json()
                                  for record in orchestrated.reductions]
@@ -266,6 +324,12 @@ def _run(args: argparse.Namespace) -> int:
         print(f"corpus                : {corpus['programs']} programs, "
               f"{corpus['crashes']} crashes in "
               f"{corpus['unique_crashes']} dedup buckets")
+    if "cache" in summary:
+        print(f"compilation cache     : {_cache_line(summary['cache'])}")
+    if "telemetry_dir" in summary:
+        print(f"telemetry             : {summary['telemetry_dir']} "
+              f"(replay: python -m repro.orchestrator stats "
+              f"{args.corpus})")
     print(f"wall-clock            : {summary['duration_seconds']}s "
           f"({summary['workers']} worker(s))")
     if orchestrated.reductions:
@@ -282,6 +346,15 @@ def _run(args: argparse.Namespace) -> int:
               f"{report['compiler']} {report['sanitizer']} / "
               f"{report['ub_type']} / levels: {levels}")
     return 0
+
+
+def _cache_line(cache: dict) -> str:
+    """``H hits / M misses (R% hit rate), E evicted`` from cache counters."""
+    hits, misses = cache.get("hits", 0), cache.get("misses", 0)
+    total = hits + misses
+    rate = f"{hits / total:.0%}" if total else "n/a"
+    return (f"{hits} hits / {misses} misses ({rate} hit rate), "
+            f"{cache.get('evictions', 0)} evicted")
 
 
 def _run_markers(args: argparse.Namespace, config, progress) -> int:
@@ -311,6 +384,8 @@ def _run_markers(args: argparse.Namespace, config, progress) -> int:
             for f in result.findings
         ],
     }
+    if orchestrated.telemetry_summary is not None:
+        summary["cache"] = orchestrated.telemetry_summary["cache"]
     if orchestrated.reductions:
         summary["reductions"] = [record.to_json()
                                  for record in orchestrated.reductions]
@@ -324,6 +399,8 @@ def _run_markers(args: argparse.Namespace, config, progress) -> int:
     print(f"markers planted       : {summary['markers_planted']} "
           f"({summary['live_markers']} live)")
     print(f"configs surveyed      : {summary['configs_surveyed']}")
+    if "cache" in summary:
+        print(f"compilation cache     : {_cache_line(summary['cache'])}")
     print(f"raw findings          : {summary['raw_findings']} "
           f"{summary['findings_by_kind']}")
     print(f"workers               : {summary['workers']}")
@@ -341,6 +418,47 @@ def _run_markers(args: argparse.Namespace, config, progress) -> int:
         print("reduced reproducers   :")
         for line in format_table(headers, rows).splitlines():
             print(f"  {line}")
+    return 0
+
+
+def _stats_main(argv: List[str]) -> int:
+    """The ``stats`` subcommand: replay persisted telemetry into a profile."""
+    args = build_stats_parser().parse_args(argv)
+    from repro.telemetry.profile import load_profile
+    try:
+        profile = load_profile(args.campaign_dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        print(f"error: telemetry under {args.campaign_dir!r} is unreadable "
+              f"({exc})", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(profile.to_json(), indent=2))
+        return 0
+
+    from repro.analysis import table_stage_profile
+    from repro.utils.text import format_table
+    if profile.campaign:
+        print(f"campaign              : {profile.campaign}")
+    print(f"seeds traced          : {profile.seed_count} "
+          f"({profile.span_count} spans)")
+    if profile.wall_seconds is not None:
+        print(f"wall-clock            : {profile.wall_seconds:.2f}s")
+    headers, rows = table_stage_profile(profile)
+    print("stage profile         :")
+    for line in format_table(headers, rows).splitlines():
+        print(f"  {line}")
+    counters = profile.counters
+    if counters.get("cache.hits", 0) or counters.get("cache.misses", 0):
+        cache = {"hits": counters.get("cache.hits", 0),
+                 "misses": counters.get("cache.misses", 0),
+                 "evictions": counters.get("cache.evictions", 0)}
+        print(f"compilation cache     : {_cache_line(cache)}")
+    if counters.get("vm.runs"):
+        print(f"vm                    : {counters['vm.runs']} runs, "
+              f"{counters.get('vm.steps', 0)} steps")
     return 0
 
 

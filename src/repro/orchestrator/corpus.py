@@ -17,6 +17,7 @@ without replaying the campaign.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -24,6 +25,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.crash_site import format_crash_site
 from repro.core.fuzzer import SeedBatch
 from repro.utils.io import atomic_write_json
+
+logger = logging.getLogger(__name__)
 
 #: A dedup bucket key: (ub_type value, crash site "line:col" or "?", sanitizer).
 BucketKey = Tuple[str, str, str]
@@ -111,6 +114,10 @@ class CorpusStore:
         self.programs: Dict[str, dict] = {}
         self.buckets: Dict[BucketKey, CrashBucket] = {}
         self._ingested_seeds: set = set()
+        #: Merged telemetry summary of the campaign that produced this
+        #: corpus (deterministic metric totals + cache counters); written
+        #: into the index by the orchestrator at the end of a traced run.
+        self.telemetry: Optional[dict] = None
         if self.root is not None and os.path.exists(self._index_path()):
             self._load()
 
@@ -226,6 +233,10 @@ class CorpusStore:
             "ingested_seeds": sorted(self._ingested_seeds),
             "buckets": [bucket.to_json() for _, bucket in sorted(self.buckets.items())],
         }
+        if self.telemetry is not None:
+            index["telemetry"] = self.telemetry
+        logger.debug("flushing corpus index %s (%d programs, %d buckets)",
+                     self._index_path(), len(self.programs), len(self.buckets))
         atomic_write_json(self._index_path(), index)
 
     def _load(self) -> None:
@@ -233,6 +244,7 @@ class CorpusStore:
             index = json.load(handle)
         self.programs = dict(index.get("programs", {}))
         self._ingested_seeds = set(index.get("ingested_seeds", []))
+        self.telemetry = index.get("telemetry")
         self.buckets = {}
         for record in index.get("buckets", []):
             bucket = CrashBucket.from_json(record)

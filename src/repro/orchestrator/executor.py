@@ -9,6 +9,7 @@ finished first.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 from typing import Iterable, Iterator, Optional, Sequence
 
@@ -18,6 +19,9 @@ from repro.orchestrator.worker import (
     initialize_worker,
     run_seed_in_worker,
 )
+from repro.telemetry import runtime as telemetry
+
+logger = logging.getLogger(__name__)
 
 
 class Executor:
@@ -81,9 +85,15 @@ class PoolExecutor(Executor):
         seed_indices = list(seed_indices)
         if not seed_indices:
             return
-        pool = self._context.Pool(processes=min(self._workers, len(seed_indices)),
+        processes = min(self._workers, len(seed_indices))
+        logger.debug("starting pool of %d workers for %d seeds",
+                     processes, len(seed_indices))
+        # Telemetry enablement travels by value (never by inherited state):
+        # workers re-enable from these flags and ship results back in the
+        # batch payloads.
+        pool = self._context.Pool(processes=processes,
                                   initializer=initialize_worker,
-                                  initargs=(config,))
+                                  initargs=(config, telemetry.worker_flags()))
         try:
             for batch in pool.imap(run_seed_in_worker, seed_indices, chunksize=1):
                 yield batch

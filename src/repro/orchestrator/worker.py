@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.fuzzer import CampaignConfig, FuzzingCampaign, SeedBatch
+from repro.telemetry import runtime as telemetry
 
 
 def campaign_for_config(config):
@@ -43,9 +44,17 @@ def campaign_for_config(config):
 _WORKER_CAMPAIGN = None
 
 
-def initialize_worker(config) -> None:
-    """Pool initializer: build this process's campaign once."""
+def initialize_worker(config, telemetry_flags: Optional[dict] = None) -> None:
+    """Pool initializer: build this process's campaign once.
+
+    *telemetry_flags* (from :func:`repro.telemetry.runtime.worker_flags`)
+    re-enables telemetry inside the worker.  Any session state inherited
+    across ``fork`` is dropped first — a worker must never write to (or
+    close) the parent's trace file; its spans buffer in per-seed scopes and
+    travel back to the parent inside the batch payload.
+    """
     global _WORKER_CAMPAIGN
+    telemetry.enable_from_flags(telemetry_flags)
     _WORKER_CAMPAIGN = campaign_for_config(config)
 
 

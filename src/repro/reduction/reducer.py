@@ -27,6 +27,7 @@ reduced program to ``jobs=1``.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Set
@@ -37,7 +38,10 @@ from repro.cdsl.parser import parse_program
 from repro.cdsl.sema import analyze
 from repro.reduction import passes
 from repro.reduction.evaluate import Predicate, PredicateFactory, make_evaluator
+from repro.telemetry import runtime as telemetry
 from repro.utils.errors import ReductionError, ReproError
+
+logger = logging.getLogger(__name__)
 
 
 def token_count(source: str) -> int:
@@ -165,17 +169,18 @@ class HierarchicalReducer:
                                          start_method=self.start_method)
         rounds = 0
         try:
-            for _ in range(self.max_rounds):
-                rounds += 1
-                progress = self._ddmin(passes.toplevel_items)
-                progress |= self._ddmin(passes.statement_items)
-                for pass_name in self.AST_PASSES:
-                    progress |= self._exhaust(pass_name)
-                if not progress:
-                    break
+            with telemetry.stage("reduce"):
+                for _ in range(self.max_rounds):
+                    rounds += 1
+                    progress = self._ddmin(passes.toplevel_items)
+                    progress |= self._ddmin(passes.statement_items)
+                    for pass_name in self.AST_PASSES:
+                        progress |= self._exhaust(pass_name)
+                    if not progress:
+                        break
         finally:
             self._evaluator.close()
-        return ReductionResult(
+        result = ReductionResult(
             original_source=source,
             reduced_source=self._current,
             predicate_evaluations=self._evaluator.evaluations,
@@ -183,6 +188,18 @@ class HierarchicalReducer:
             edits_applied=self._edits,
             rounds=rounds,
             duration_seconds=time.perf_counter() - start)
+        registry = telemetry.metrics()
+        if registry is not None:
+            registry.inc("reduce.candidates", result.candidates_generated)
+            registry.inc("reduce.evaluations", result.predicate_evaluations)
+            registry.inc("reduce.accepted", result.edits_applied)
+            registry.inc("reduce.rejected",
+                         max(0, result.predicate_evaluations
+                             - result.edits_applied))
+        logger.debug("reduced %d -> %d tokens in %d rounds (%.2fs)",
+                     result.original_tokens, result.reduced_tokens,
+                     rounds, result.duration_seconds)
+        return result
 
     # -- phases ---------------------------------------------------------------------
 

@@ -1,0 +1,178 @@
+"""Replay persisted campaign telemetry into a where-time-goes profile.
+
+A traced campaign leaves two files under ``<campaign-dir>/telemetry/``:
+``trace.jsonl`` (span events, see :mod:`repro.telemetry.tracer`) and
+``metrics.json`` (the merged :class:`~repro.telemetry.metrics.MetricsRegistry`
+snapshot).  :func:`load_profile` reads them back and aggregates the stage
+spans into per-stage call counts and durations; because stages nest (the
+marker oracle compiles through the cache, so ``oracle`` spans contain
+``frontend``/``optimize`` children), each stage reports both its *inclusive*
+time and its *self* time (inclusive minus nested stage spans) — self times
+sum to a true breakdown.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.runtime import STAGES
+from repro.telemetry.tracer import read_trace
+
+TELEMETRY_DIRNAME = "telemetry"
+TRACE_FILENAME = "trace.jsonl"
+METRICS_FILENAME = "metrics.json"
+
+
+@dataclass
+class StageStats:
+    """Aggregated timings for one pipeline stage across the whole trace."""
+
+    name: str
+    calls: int = 0
+    total_seconds: float = 0.0
+    self_seconds: float = 0.0
+
+    @property
+    def mean_ms(self) -> float:
+        return (self.total_seconds / self.calls) * 1000.0 if self.calls else 0.0
+
+
+@dataclass
+class CampaignProfile:
+    """Everything ``repro.orchestrator stats`` renders for one campaign."""
+
+    campaign: Optional[str]
+    stages: List[StageStats]
+    counters: Dict[str, int]
+    seed_count: int
+    span_count: int
+    wall_seconds: Optional[float]
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def stage(self, name: str) -> StageStats:
+        for stats in self.stages:
+            if stats.name == name:
+                return stats
+        raise KeyError(name)
+
+    def to_json(self) -> dict:
+        return {
+            "campaign": self.campaign,
+            "seeds": self.seed_count,
+            "spans": self.span_count,
+            "wall_seconds": self.wall_seconds,
+            "stages": [{
+                "name": stats.name,
+                "calls": stats.calls,
+                "total_seconds": round(stats.total_seconds, 6),
+                "self_seconds": round(stats.self_seconds, 6),
+            } for stats in self.stages],
+            "counters": dict(self.counters),
+        }
+
+
+def profile_from_events(events: List[dict],
+                        metrics: Optional[MetricsRegistry] = None,
+                        campaign: Optional[str] = None) -> CampaignProfile:
+    """Aggregate raw trace events into a :class:`CampaignProfile`.
+
+    Span ids are only unique per originating tracer, so events are grouped
+    by their seed ``scope`` (parent-side events have none) before the
+    parent/child duration accounting.
+    """
+    stage_names = set(STAGES)
+    stages = {name: StageStats(name) for name in STAGES}
+    seeds = set()
+    span_count = 0
+    wall: Optional[float] = None
+    by_scope: Dict[object, List[dict]] = {}
+    for event in events:
+        if event.get("ev") == "meta" and campaign is None:
+            campaign = event.get("campaign")
+        if event.get("ev") != "span":
+            continue
+        span_count += 1
+        scope = event.get("scope")
+        if scope is not None:
+            seeds.add(scope)
+        by_scope.setdefault(scope, []).append(event)
+        if event.get("name") == "campaign" and scope is None:
+            wall = event.get("dur")
+
+    for scope_events in by_scope.values():
+        # Time spent in nested stage spans, charged against each parent so
+        # self time = inclusive time - nested stage time.
+        nested: Dict[int, float] = {}
+        for event in scope_events:
+            parent = event.get("parent")
+            if parent is not None and event.get("name") in stage_names:
+                nested[parent] = nested.get(parent, 0.0) + event.get("dur", 0.0)
+        for event in scope_events:
+            name = event.get("name")
+            if name not in stage_names:
+                continue
+            stats = stages[name]
+            duration = event.get("dur", 0.0)
+            stats.calls += 1
+            stats.total_seconds += duration
+            stats.self_seconds += max(0.0, duration - nested.get(event["id"], 0.0))
+
+    registry = metrics if metrics is not None else MetricsRegistry()
+    counters = {name: registry.counter_value(name)
+                for name in registry.deterministic_totals()
+                if not name.endswith(".count")}
+    if metrics is not None and not span_count:
+        # Metrics-only campaign (no --trace): synthesize stage rows from the
+        # per-stage histograms so `stats` still shows a breakdown.
+        for name in STAGES:
+            payload = metrics.to_json()["histograms"].get(
+                f"stage.{name}.seconds")
+            if payload:
+                stages[name].calls = payload["count"]
+                stages[name].total_seconds = payload["sum"]
+                stages[name].self_seconds = payload["sum"]
+    return CampaignProfile(
+        campaign=campaign,
+        stages=[stages[name] for name in STAGES],
+        counters=counters,
+        seed_count=len(seeds),
+        span_count=span_count,
+        wall_seconds=wall,
+        metrics=registry,
+    )
+
+
+def telemetry_paths(campaign_dir: str) -> Tuple[str, str]:
+    """``(trace.jsonl, metrics.json)`` paths under *campaign_dir*."""
+    base = os.path.join(campaign_dir, TELEMETRY_DIRNAME)
+    return (os.path.join(base, TRACE_FILENAME),
+            os.path.join(base, METRICS_FILENAME))
+
+
+def load_profile(campaign_dir: str) -> CampaignProfile:
+    """Load persisted telemetry for a campaign directory into a profile.
+
+    Raises ``FileNotFoundError`` when the directory holds no telemetry at
+    all (neither a trace nor a metrics snapshot).
+    """
+    import json
+
+    trace_path, metrics_path = telemetry_paths(campaign_dir)
+    events: List[dict] = []
+    registry: Optional[MetricsRegistry] = None
+    campaign = None
+    if os.path.exists(trace_path):
+        events = read_trace(trace_path)
+    if os.path.exists(metrics_path):
+        with open(metrics_path, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        campaign = snapshot.get("campaign")
+        registry = MetricsRegistry.from_json(snapshot.get("metrics"))
+    if not events and registry is None:
+        raise FileNotFoundError(
+            f"no telemetry under {campaign_dir!r}: run the campaign with "
+            f"--trace (and --corpus) to record one")
+    return profile_from_events(events, metrics=registry, campaign=campaign)

@@ -1,0 +1,156 @@
+"""Structured span tracing with JSONL persistence.
+
+A :class:`Tracer` hands out nested spans through the
+:meth:`Tracer.span` context manager::
+
+    with tracer.span("optimize", compiler="llvm", opt="-O2"):
+        ...
+
+Each span becomes one JSON event **when it closes**, carrying its name, a
+per-tracer integer id, the id of the enclosing span (``parent``), the start
+offset from the tracer's epoch (``t``), the duration (``dur``) and any
+keyword attributes (``attrs``).  Emitting on close means children appear
+before their parents in the stream; consumers reconstruct the hierarchy from
+the ids (see :mod:`repro.telemetry.profile`).
+
+Events either buffer in memory (:attr:`Tracer.events` — how worker processes
+capture spans that the parent later writes in seed order) or stream through
+a :class:`TraceWriter` to a ``trace.jsonl`` file.  The writer records the
+creating pid and silently drops writes from forked children, so a pool
+worker inheriting the parent's tracer state can never interleave garbage
+into the parent's trace file.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+
+class TraceWriter:
+    """Append-only JSONL sink for trace events, one JSON object per line."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle: Optional[io.TextIOBase] = open(path, "w", encoding="utf-8")
+        self._pid = os.getpid()
+
+    def write(self, event: dict) -> None:
+        # A forked child inherits this object; its writes must not interleave
+        # with the parent's.  Workers buffer spans in memory instead.
+        if self._handle is None or os.getpid() != self._pid:
+            return
+        self._handle.write(json.dumps(event, sort_keys=True,
+                                      separators=(",", ":")) + "\n")
+
+    def close(self) -> None:
+        if self._handle is not None and os.getpid() == self._pid:
+            self._handle.close()
+        self._handle = None
+
+
+def read_trace(path: str) -> List[dict]:
+    """Load a ``trace.jsonl`` file back into a list of event dicts."""
+    events: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+class _Span:
+    """One active span; created by :meth:`Tracer.span`, closed on exit."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id", "start")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: Dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self.start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self.tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.tracer._close(self, error=exc_type.__name__ if exc_type else None)
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach an attribute after the span opened."""
+        self.attrs[key] = value
+
+
+class Tracer:
+    """Issues nested spans and emits one structured event per closed span.
+
+    Span ids are consecutive integers in *open* order, so two runs executing
+    the same work produce structurally identical traces (timestamps aside).
+    Events go to *writer* when given, otherwise they accumulate in
+    :attr:`events` for the caller to collect.
+    """
+
+    def __init__(self, writer: Optional[TraceWriter] = None,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.events: List[dict] = []
+        self._writer = writer
+        self._clock = clock
+        self._epoch = clock()
+        self._stack: List[_Span] = []
+        self._next_id = 1
+
+    def span(self, name: str, **attrs: Any) -> _Span:
+        """A context manager for one traced span; attrs become event fields."""
+        return _Span(self, name, attrs)
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans (0 at top level)."""
+        return len(self._stack)
+
+    def emit(self, event: dict) -> None:
+        """Record a raw event (used for meta records and replayed spans)."""
+        if self._writer is not None:
+            self._writer.write(event)
+        else:
+            self.events.append(event)
+
+    # -- span lifecycle (called by _Span) ---------------------------------------------
+
+    def _open(self, span: _Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        span.parent_id = self._stack[-1].span_id if self._stack else None
+        span.start = self._clock()
+        self._stack.append(span)
+
+    def _close(self, span: _Span, error: Optional[str]) -> None:
+        duration = self._clock() - span.start
+        # Tolerate exception-driven unwinding that skipped inner __exit__s.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        event: Dict[str, Any] = {
+            "ev": "span",
+            "name": span.name,
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "t": round(span.start - self._epoch, 6),
+            "dur": round(duration, 6),
+        }
+        if span.attrs:
+            event["attrs"] = span.attrs
+        if error is not None:
+            event["error"] = error
+        self.emit(event)

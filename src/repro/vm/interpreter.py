@@ -37,6 +37,7 @@ from repro.vm.errors import (
     SanitizerReport,
     VMFault,
 )
+from repro.telemetry import runtime as telemetry
 from repro.vm.memory import Memory, MemoryObject
 from repro.vm.values import RuntimeValue, coerce, make_value
 
@@ -172,6 +173,12 @@ class Interpreter:
                 report: Optional[SanitizerReport] = None,
                 crash_site: Optional[tuple[int, int]] = None,
                 error: Optional[str] = None) -> ExecutionResult:
+        # One telemetry touch per run, never per tick: the VM hot loop must
+        # stay instrumentation-free (the nullable fast-path rule).
+        registry = telemetry.metrics()
+        if registry is not None:
+            registry.inc("vm.runs")
+            registry.inc("vm.steps", self.steps)
         return ExecutionResult(
             status=status, exit_code=exit_code, report=report,
             crash_site=crash_site,

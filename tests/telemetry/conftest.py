@@ -1,0 +1,19 @@
+"""Shared guard for the telemetry tests.
+
+Telemetry state is process-global (that is the point of the nullable fast
+path), so every test starts and must end with it disabled — a leaked
+session would silently change what other tests measure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import runtime as telemetry
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    telemetry.disable()
+    yield
+    telemetry.disable()

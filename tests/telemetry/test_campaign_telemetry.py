@@ -1,0 +1,163 @@
+"""End-to-end telemetry through the orchestrator: traced campaigns persist
+their telemetry, parallel merges match serial totals bit-for-bit, and the
+``stats`` subcommand replays it all."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core import CampaignConfig
+from repro.orchestrator import OrchestratedCampaign
+from repro.orchestrator.cli import main as cli_main
+from repro.telemetry import MetricsRegistry, load_profile, read_trace
+from repro.telemetry import runtime as telemetry
+from repro.telemetry.profile import telemetry_paths
+
+#: Same scale the orchestrator determinism tests use: three seeds shard
+#: across two workers while keeping the module fast.
+SCALE = dict(num_seeds=3, rng_seed=5, max_programs_per_type=1,
+             opt_levels=("-O0", "-O2"))
+
+
+@pytest.fixture(scope="module")
+def traced_runs(tmp_path_factory):
+    """One serial and one two-worker traced campaign over identical configs."""
+    telemetry.disable()
+    runs = {}
+    for label, workers in (("serial", 1), ("parallel", 2)):
+        root = str(tmp_path_factory.mktemp(label))
+        campaign = OrchestratedCampaign(
+            CampaignConfig(**SCALE), workers=workers, corpus=root,
+            checkpoint_path=os.path.join(root, "checkpoint.json"),
+            trace=True)
+        campaign.run()
+        runs[label] = (root, campaign)
+    telemetry.disable()
+    return runs
+
+
+def _totals(root: str) -> dict:
+    _, metrics_path = telemetry_paths(root)
+    with open(metrics_path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    return MetricsRegistry.from_json(snapshot["metrics"]).deterministic_totals()
+
+
+def test_parallel_merge_equals_serial_totals(traced_runs):
+    serial = _totals(traced_runs["serial"][0])
+    parallel = _totals(traced_runs["parallel"][0])
+    assert serial == parallel
+    # And the totals are substantive, not vacuously equal empties.
+    for key in ("cache.hits", "cache.misses", "diff.programs", "vm.runs",
+                "stage.execute.seconds.count"):
+        assert serial[key] > 0, key
+
+
+def test_trace_file_structure(traced_runs):
+    root, _ = traced_runs["serial"]
+    trace_path, metrics_path = telemetry_paths(root)
+    assert os.path.exists(trace_path) and os.path.exists(metrics_path)
+    events = read_trace(trace_path)
+    assert events[0]["ev"] == "meta" and events[0]["version"] == 1
+    spans = [event for event in events if event["ev"] == "span"]
+    # Worker spans are stamped with their seed scope; the campaign span is
+    # parent-side (no scope) and closes last.
+    assert {event.get("scope") for event in spans
+            if event.get("scope") is not None} == {0, 1, 2}
+    assert spans[-1]["name"] == "campaign"
+    assert spans[-1].get("scope") is None
+
+
+def test_campaign_summary_checkpoint_and_corpus(traced_runs):
+    root, campaign = traced_runs["serial"]
+    summary = campaign.telemetry_summary
+    assert summary is not None
+    assert summary["cache"]["hits"] > 0
+    assert summary["totals"]["diff.programs"] > 0
+
+    with open(os.path.join(root, "checkpoint.json"), encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    assert snapshot["metadata"]["telemetry"]["cache"] == summary["cache"]
+
+    with open(os.path.join(root, "corpus.json"), encoding="utf-8") as handle:
+        index = json.load(handle)
+    assert index["telemetry"]["cache"] == summary["cache"]
+
+
+def test_load_profile_replays_stage_breakdown(traced_runs):
+    root, _ = traced_runs["serial"]
+    profile = load_profile(root)
+    assert profile.seed_count == 3 and profile.span_count > 0
+    assert profile.wall_seconds and profile.wall_seconds > 0
+    for name in ("generate", "frontend", "optimize", "execute"):
+        assert profile.stage(name).calls > 0, name
+        assert profile.stage(name).total_seconds >= profile.stage(name).self_seconds
+    assert profile.counters["cache.hits"] > 0
+
+
+def test_stats_cli_renders_profile(traced_runs, capsys):
+    root, _ = traced_runs["serial"]
+    assert cli_main(["stats", root]) == 0
+    out = capsys.readouterr().out
+    assert "stage profile" in out
+    assert "generate" in out and "execute" in out
+    assert "compilation cache" in out
+    assert "vm" in out
+
+    assert cli_main(["stats", root, "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["seeds"] == 3
+    assert {stage["name"] for stage in report["stages"]} == set(telemetry.STAGES)
+
+
+def test_stats_cli_without_telemetry_is_clean_error(tmp_path, capsys):
+    assert cli_main(["stats", str(tmp_path)]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "--trace" in err
+
+
+def test_cli_rejects_bad_trace_combinations(capsys):
+    # --trace needs a persistent corpus to put the trace in.
+    assert cli_main(["--seeds", "1", "--trace", "--quiet"]) == 2
+    assert "--corpus" in capsys.readouterr().err
+    # Marker campaigns have no corpus storage, hence no trace persistence.
+    assert cli_main(["--mode", "markers", "--seeds", "1", "--trace",
+                     "--quiet"]) == 2
+    assert "fuzzing" in capsys.readouterr().err
+
+
+def test_cli_traced_run_prints_cache_and_telemetry_lines(tmp_path, capsys):
+    corpus = str(tmp_path / "corpus")
+    exit_code = cli_main([
+        "--seeds", "2", "--rng-seed", "5", "--max-programs-per-type", "1",
+        "--opt-levels=-O0,-O2", "--no-triage", "--quiet",
+        "--corpus", corpus, "--trace",
+    ])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "compilation cache" in out
+    assert "hit rate" in out
+    assert os.path.join(corpus, "telemetry") in out
+    # The run is replayable straight away.
+    assert cli_main(["stats", corpus]) == 0
+    assert "stage profile" in capsys.readouterr().out
+
+
+def test_untraced_persistent_run_still_records_metrics(tmp_path):
+    """metrics.json lands for any persistent-corpus run; stats falls back to
+    the histogram synthesis when there are no span events."""
+    root = str(tmp_path / "corpus")
+    campaign = OrchestratedCampaign(
+        CampaignConfig(num_seeds=2, rng_seed=5, max_programs_per_type=1,
+                       opt_levels=("-O0", "-O2"), triage=False),
+        corpus=root)
+    campaign.run()
+    trace_path, metrics_path = telemetry_paths(root)
+    assert not os.path.exists(trace_path)
+    assert os.path.exists(metrics_path)
+    profile = load_profile(root)
+    assert profile.span_count == 0
+    assert profile.stage("execute").calls > 0  # synthesized from histograms
