@@ -34,21 +34,33 @@ def bench_print(*parts) -> None:
         handle.write(" ".join(str(p) for p in parts) + "\n")
 
 
+#: Version of the ``bench_<name>.json`` artifact layout.  2 added the
+#: ``stamp`` block (git sha, timestamp, hostname) used by the telemetry
+#: store and the regression checker to key baselines.
+BENCH_SCHEMA = 2
+
+
 def write_bench_record(name: str, **fields) -> str:
     """Persist one benchmark's machine-readable result.
 
     Writes ``artifacts/bench_<name>.json`` (the same gitignored directory
     the human-readable report lands in; CI uploads both), so throughput
     numbers can be tracked across runs without scraping captured stdout.
+    Each record is stamped with the schema version, git sha, wall-clock
+    timestamp and hostname so ``scripts/check_bench_regression.py`` can
+    compare it against the store's trailing baseline.
     Returns the written path."""
     import json
     import os
+    from repro.telemetry.store import stamp_fields
     artifacts = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                              os.pardir, "artifacts")
     os.makedirs(artifacts, exist_ok=True)
     path = os.path.join(artifacts, f"bench_{name}.json")
+    record = {"bench": name, "schema": BENCH_SCHEMA,
+              "stamp": stamp_fields(), **fields}
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump({"bench": name, **fields}, handle, indent=1, sort_keys=True)
+        json.dump(record, handle, indent=1, sort_keys=True)
         handle.write("\n")
     return path
 

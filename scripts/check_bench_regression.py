@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Compare fresh bench artifacts against the telemetry store's baseline.
+
+For every ``bench_<name>.json`` under ``artifacts/`` the checker looks up
+the trailing baseline of each numeric field in the cross-campaign store
+(median of the last ``--baseline-window`` stored samples) and flags fields
+that moved past ``--threshold`` in the *bad* direction:
+
+* fields ending in ``_ms``/``_ns``/``_seconds``/``_share`` (and bare
+  ``seconds``) are timings — lower is better, an increase regresses;
+* ``speedup`` and fields ending in ``_per_sec``/``_per_second``/``_rate``
+  are throughput — higher is better, a decrease regresses;
+* everything else (worker counts, scale knobs, budgets) is configuration
+  and is skipped.
+
+Fields with no stored history are reported as "new" and never fail the
+check, so the very first CI run against an empty store passes.  The
+result is printed as a markdown table (also written to ``--output`` for
+job summaries); exit status is 1 when any field regressed, 0 otherwise.
+
+Usage::
+
+    python scripts/check_bench_regression.py --db telemetry.sqlite \
+        [--artifacts artifacts] [--threshold 0.10] [--baseline-window 5] \
+        [--output regressions.md] [--ingest]
+
+``--ingest`` stores the current artifacts *after* the comparison, so a
+run never competes against itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+from typing import List, Optional, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.telemetry.store import TelemetryStore  # noqa: E402
+
+#: Field-name suffixes where a *higher* fresh value is a regression.
+LOWER_IS_BETTER = ("_ms", "_ns", "_seconds", "seconds", "_share")
+#: Field names/suffixes where a *lower* fresh value is a regression.
+HIGHER_IS_BETTER = ("_per_sec", "_per_second", "_rate")
+HIGHER_IS_BETTER_NAMES = ("speedup", "rate")
+
+DEFAULT_THRESHOLD = 0.10
+DEFAULT_WINDOW = 5
+
+
+def field_direction(field: str) -> Optional[int]:
+    """-1 when lower is better, +1 when higher is better, None to skip."""
+    if field in HIGHER_IS_BETTER_NAMES or field.endswith(HIGHER_IS_BETTER):
+        return 1
+    if field.endswith(LOWER_IS_BETTER):
+        return -1
+    return None
+
+
+def numeric_fields(record: dict) -> List[Tuple[str, float]]:
+    """The comparable (field, value) pairs of one bench record."""
+    return [(field, float(value)) for field, value in sorted(record.items())
+            if isinstance(value, (int, float))
+            and not isinstance(value, bool) and field != "schema"]
+
+
+def compare(store: TelemetryStore, artifacts_dir: str, threshold: float,
+            window: int) -> Tuple[List[dict], bool]:
+    """Compare every artifact against its baseline.
+
+    Returns (rows, regressed) where each row is one compared field."""
+    rows: List[dict] = []
+    regressed = False
+    try:
+        names = sorted(os.listdir(artifacts_dir))
+    except OSError:
+        return rows, regressed
+    for name in names:
+        if not (name.startswith("bench_") and name.endswith(".json")):
+            continue
+        path = os.path.join(artifacts_dir, name)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping unreadable {path} ({exc})",
+                  file=sys.stderr)
+            continue
+        bench = record.get("bench") or name
+        for field, value in numeric_fields(record):
+            direction = field_direction(field)
+            if direction is None:
+                continue
+            history = store.bench_series(bench, field, last=window)
+            if not history:
+                rows.append({"bench": bench, "field": field, "value": value,
+                             "baseline": None, "change": None,
+                             "status": "new"})
+                continue
+            baseline = statistics.median(s["value"] for s in history)
+            if baseline == 0:
+                change = 0.0
+            else:
+                change = (value - baseline) / abs(baseline)
+            # `change * -direction` is positive exactly when the value
+            # moved the wrong way (slower timing, lower throughput).
+            bad = change * -direction
+            status = "regression" if bad > threshold else "ok"
+            if status == "regression":
+                regressed = True
+            rows.append({"bench": bench, "field": field, "value": value,
+                         "baseline": baseline, "change": change,
+                         "status": status})
+    return rows, regressed
+
+
+def render_markdown(rows: List[dict], threshold: float, window: int,
+                    regressed: bool) -> str:
+    lines = ["# Bench regression check", ""]
+    if not rows:
+        lines.append("No comparable bench artifacts found.")
+        return "\n".join(lines) + "\n"
+    lines.append(f"Baseline: median of last {window} stored samples; "
+                 f"threshold: {threshold:.0%} in the bad direction.")
+    lines.append("")
+    lines.append("| Bench | Field | Current | Baseline | Change | Status |")
+    lines.append("|---|---|---|---|---|---|")
+    for row in rows:
+        baseline = ("-" if row["baseline"] is None
+                    else f"{row['baseline']:.6g}")
+        change = ("-" if row["change"] is None
+                  else f"{100 * row['change']:+.1f}%")
+        marker = {"regression": "❌ regression", "new": "🆕 new",
+                  "ok": "✅ ok"}[row["status"]]
+        lines.append(f"| {row['bench']} | {row['field']} | "
+                     f"{row['value']:.6g} | {baseline} | {change} | "
+                     f"{marker} |")
+    lines.append("")
+    lines.append("**Result:** "
+                 + ("regressions detected" if regressed
+                    else "no regressions"))
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="flag bench artifacts that regressed against the "
+                    "telemetry store's trailing baseline")
+    parser.add_argument("--db", required=True, dest="db_path",
+                        help="telemetry store SQLite file")
+    parser.add_argument("--artifacts", default="artifacts",
+                        help="directory holding bench_*.json "
+                             "(default: artifacts)")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="relative change that counts as a regression "
+                             "(default: 0.10 = 10%%)")
+    parser.add_argument("--baseline-window", type=int, dest="window",
+                        default=DEFAULT_WINDOW,
+                        help="baseline = median of this many most recent "
+                             "stored samples (default: 5)")
+    parser.add_argument("--output", default=None,
+                        help="also write the markdown summary here")
+    parser.add_argument("--ingest", action="store_true",
+                        help="ingest the current artifacts into the store "
+                             "after comparing")
+    args = parser.parse_args(argv)
+
+    with TelemetryStore(args.db_path) as store:
+        rows, regressed = compare(store, args.artifacts, args.threshold,
+                                  args.window)
+        summary = render_markdown(rows, args.threshold, args.window,
+                                  regressed)
+        print(summary, end="")
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(summary)
+        if args.ingest:
+            added = store.ingest_bench_dir(args.artifacts)
+            print(f"ingested {sum(added.values())} sample(s) from "
+                  f"{len(added)} artifact(s)", file=sys.stderr)
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -83,10 +83,15 @@ from repro.reduction import (
 )
 from repro.telemetry import (
     CampaignProfile,
+    HealthMonitor,
     MetricsRegistry,
+    TelemetryStore,
     Tracer,
+    WatchView,
     configure_logging,
     load_profile,
+    write_chrome_trace,
+    write_folded_stacks,
 )
 from repro.seedgen import (
     CsmithGenerator,
@@ -114,8 +119,9 @@ __all__ = [
     "MarkerCampaignResult", "MarkerConfig", "MarkerEngine", "MarkerFinding",
     "MarkerPlanter", "MarkerSite",
     "CorpusStore", "OrchestratedCampaign", "PoolExecutor", "SerialExecutor",
-    "CampaignProfile", "MetricsRegistry", "Tracer", "configure_logging",
-    "load_profile",
+    "CampaignProfile", "HealthMonitor", "MetricsRegistry", "TelemetryStore",
+    "Tracer", "WatchView", "configure_logging", "load_profile",
+    "write_chrome_trace", "write_folded_stacks",
     "CsmithGenerator", "CsmithNoSafeGenerator", "GeneratorConfig",
     "MusicMutator", "SeedProgram", "generate_juliet_suite",
     "ExecutionResult", "SanitizerReport",

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import logging
 import os
+import time
 from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from repro.core.fuzzer import (
@@ -46,6 +47,7 @@ from repro.orchestrator.records import config_fingerprint
 from repro.orchestrator.stats import ThroughputMonitor
 from repro.reduction import ReductionRecord, record_for, reduce_fn_candidate
 from repro.telemetry import runtime as telemetry
+from repro.telemetry.monitor import HealthMonitor
 from repro.telemetry.profile import telemetry_paths
 from repro.utils.io import atomic_write_json
 
@@ -77,7 +79,9 @@ class OrchestratedCampaign:
                  max_seeds_per_session: Optional[int] = None,
                  reduce: bool = False,
                  reduce_jobs: int = 1,
-                 trace: bool = False) -> None:
+                 trace: bool = False,
+                 db_path: Optional[str] = None,
+                 health_monitor: Optional[HealthMonitor] = None) -> None:
         self.config = config if config is not None else CampaignConfig()
         if not isinstance(self.config, CampaignConfig):
             if checkpoint_path is not None or corpus is not None:
@@ -105,8 +109,20 @@ class OrchestratedCampaign:
             raise ValueError(
                 "trace=True requires a persistent corpus (corpus=<dir>) to "
                 "hold telemetry/trace.jsonl")
+        self.db_path = db_path
+        if db_path is not None and (self.corpus is None
+                                    or self.corpus.root is None):
+            raise ValueError(
+                "db_path requires a persistent corpus (corpus=<dir>): "
+                "store ingestion reads the telemetry the corpus persists")
         #: Populated by run(); exposes live throughput/ETA while running.
         self.monitor: Optional[ThroughputMonitor] = None
+        #: Stall/straggler detection over freshly executed batches; the
+        #: summary lands in checkpoint metadata and the corpus index.
+        self.health = (health_monitor if health_monitor is not None
+                       else HealthMonitor())
+        #: Run id assigned by the telemetry store when ``db_path`` is set.
+        self.db_run_id: Optional[int] = None
         #: Seed indices restored from the checkpoint on the last run().
         self.resumed_indices: list[int] = []
         #: Per-bucket reduction records from the last run() (``reduce=True``).
@@ -131,6 +147,7 @@ class OrchestratedCampaign:
         open) instead."""
         session, owned = self._begin_telemetry()
         try:
+            self._emit_campaign_start()
             with telemetry.span("campaign", workers=self.executor.workers,
                                 seeds=self.config.num_seeds):
                 if isinstance(self.config, CampaignConfig):
@@ -138,6 +155,7 @@ class OrchestratedCampaign:
                 else:
                     result = self._run_markers()
             self._finish_telemetry(session)
+            self._ingest_into_store()
             return result
         finally:
             if owned:
@@ -157,6 +175,7 @@ class OrchestratedCampaign:
                     self.executor.workers)
         self.monitor = ThroughputMonitor(self.config.num_seeds, emit=self.progress)
         self.monitor.start()
+        self.health.start()
         result = campaign.collect(self._merged_batches(completed, pending))
         if self.reduce:
             self.reductions = self._reduce_buckets(campaign, result)
@@ -169,6 +188,18 @@ class OrchestratedCampaign:
         return result
 
     # -- telemetry lifecycle ----------------------------------------------------
+
+    def _emit_campaign_start(self) -> None:
+        """Write a start-of-campaign meta event into the trace stream.
+
+        The `watch` subcommand reads it for seed totals / worker count /
+        wall-clock anchor — span events alone cannot provide those until
+        the campaign *finishes* (the campaign span closes last)."""
+        active = telemetry.tracer()
+        if active is None:
+            return
+        active.emit({"ev": "campaign_start", "seeds": self.config.num_seeds,
+                     "workers": self.executor.workers, "time": time.time()})
 
     def _begin_telemetry(self):
         """Install (or adopt) the telemetry session for this run.
@@ -198,6 +229,7 @@ class OrchestratedCampaign:
                 "misses": registry.counter_value("cache.misses"),
                 "evictions": registry.counter_value("cache.evictions"),
             },
+            "health": self.health.summary(),
         }
         self.telemetry_summary = summary
         if self.checkpoint is not None:
@@ -214,6 +246,16 @@ class OrchestratedCampaign:
                 })
             self.corpus.flush()
 
+    def _ingest_into_store(self) -> None:
+        """Auto-ingest the finished campaign into the telemetry store."""
+        if self.db_path is None:
+            return
+        from repro.telemetry.store import TelemetryStore
+        with TelemetryStore(self.db_path) as store:
+            self.db_run_id = store.ingest_campaign(self.corpus.root)
+        logger.info("campaign ingested into %s as run %s", self.db_path,
+                    self.db_run_id)
+
     # -- marker mode ------------------------------------------------------------
 
     def _run_markers(self):
@@ -226,12 +268,14 @@ class OrchestratedCampaign:
         self.monitor = ThroughputMonitor(self.config.num_seeds,
                                          emit=self.progress)
         self.monitor.start()
+        self.health.start()
 
         def batches():
             fresh = iter(self.executor.map_seeds(self.config, pending))
             try:
                 for batch in fresh:
                     self.monitor.observe(batch)
+                    self.health.observe(batch.duration_seconds)
                     yield batch
             finally:
                 if hasattr(fresh, "close"):
@@ -350,6 +394,7 @@ class OrchestratedCampaign:
                     if self.checkpoint is not None:
                         self.checkpoint.record(batch)
                     self.monitor.observe(batch)
+                    self.health.observe(batch.duration_seconds)
                 if self.corpus is not None:
                     self.corpus.ingest(batch)
                 yield batch

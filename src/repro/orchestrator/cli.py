@@ -95,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record span-level telemetry to "
                              "<corpus>/telemetry/trace.jsonl (requires "
                              "--corpus; replay with the 'stats' subcommand)")
+    parser.add_argument("--db", default=None, metavar="PATH", dest="db_path",
+                        help="cross-campaign telemetry database (SQLite); "
+                             "the campaign auto-ingests its telemetry on "
+                             "completion (requires --corpus; query with "
+                             "the 'db' subcommand)")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress per-seed progress lines and other "
                              "status logging (warnings still shown)")
@@ -110,12 +115,90 @@ def build_stats_parser() -> argparse.ArgumentParser:
         prog="python -m repro.orchestrator stats",
         description="Replay the telemetry a traced campaign persisted "
                     "(telemetry/trace.jsonl + metrics.json) into a "
-                    "per-stage time/cache/VM profile.")
+                    "per-stage time/cache/VM profile, optionally exporting "
+                    "the span trace to standard formats.")
     parser.add_argument("campaign_dir",
                         help="campaign corpus directory (the --corpus of "
                              "the traced run)")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="print the profile as JSON")
+    parser.add_argument("--export-chrome", default=None, metavar="PATH",
+                        help="write the span trace as Chrome trace-event "
+                             "JSON (chrome://tracing, Perfetto)")
+    parser.add_argument("--export-folded", default=None, metavar="PATH",
+                        help="write the span trace as folded stacks "
+                             "(flamegraph.pl / speedscope input)")
+    return parser
+
+
+def build_watch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.orchestrator watch",
+        description="Live-monitor a running traced campaign: tail its "
+                    "telemetry/trace.jsonl (read-only, never disturbing "
+                    "the writer) and render throughput, ETA, per-stage "
+                    "self-time and stall health until the campaign "
+                    "finishes.")
+    parser.add_argument("campaign_dir",
+                        help="the running campaign's --corpus directory")
+    parser.add_argument("--interval", type=float, default=2.0, metavar="S",
+                        help="seconds between refreshes (default: 2)")
+    parser.add_argument("--once", action="store_true",
+                        help="render a single snapshot and exit")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="give up after S seconds (default: follow "
+                             "until the campaign finishes)")
+    parser.add_argument("--stall-factor", type=float, default=None,
+                        metavar="X",
+                        help="flag a stall when the trace is silent for X "
+                             "times the rolling median seed duration "
+                             "(default: 5)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print one JSON snapshot per refresh")
+    return parser
+
+
+def build_db_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.orchestrator db",
+        description="The cross-campaign telemetry store: ingest persisted "
+                    "campaign telemetry and bench artifacts into a SQLite "
+                    "database, list the stored runs, and chart metric "
+                    "trends across them.")
+    parser.add_argument("--db", required=True, metavar="PATH", dest="db_path",
+                        help="path of the SQLite telemetry database "
+                             "(created on first use)")
+    sub = parser.add_subparsers(dest="db_command", required=True)
+
+    ingest = sub.add_parser("ingest",
+                            help="ingest campaign dirs / bench artifacts")
+    ingest.add_argument("campaign_dirs", nargs="*", metavar="CAMPAIGN_DIR",
+                        help="traced campaign corpus directories")
+    ingest.add_argument("--bench-dir", default=None, metavar="DIR",
+                        help="also ingest every bench_*.json under DIR")
+
+    query = sub.add_parser("query", help="list the stored campaign runs")
+    query.add_argument("--campaign", default=None, metavar="FINGERPRINT",
+                       help="only runs of this config fingerprint")
+    query.add_argument("--last", type=int, default=None, metavar="N",
+                       help="only the most recent N runs")
+    query.add_argument("--metrics", action="store_true",
+                       help="also list the metric names the runs recorded")
+    query.add_argument("--json", action="store_true", dest="as_json",
+                       help="machine-readable output")
+
+    trend = sub.add_parser("trend",
+                           help="one metric's series across stored runs")
+    trend.add_argument("--metric", required=True,
+                       help="metric name, e.g. stage.execute.self_seconds "
+                            "or cache.hits ('db query --metrics' lists "
+                            "them)")
+    trend.add_argument("--last", type=int, default=20, metavar="N",
+                       help="series length (default: 20 most recent runs)")
+    trend.add_argument("--campaign", default=None, metavar="FINGERPRINT",
+                       help="restrict to one config fingerprint")
+    trend.add_argument("--json", action="store_true", dest="as_json",
+                       help="machine-readable output")
     return parser
 
 
@@ -220,6 +303,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(argv)
     if argv[:1] == ["stats"]:
         return _stats_main(argv[1:])
+    if argv[:1] == ["watch"]:
+        return _watch_main(argv[1:])
+    if argv[:1] == ["db"]:
+        return _db_main(argv[1:])
     args = build_parser().parse_args(argv)
     configure_logging(0 if args.quiet else 1 + args.verbose)
     try:
@@ -250,10 +337,16 @@ def _run(args: argparse.Namespace) -> int:
         if args.trace:
             raise CLIError("--trace is fuzzing-only: marker campaigns have "
                            "no corpus directory to persist the trace into")
+        if args.db_path is not None:
+            raise CLIError("--db is fuzzing-only: marker campaigns persist "
+                           "no telemetry for the store to ingest")
         return _run_markers(args, config, progress)
     if args.trace and args.corpus is None:
         raise CLIError("--trace requires --corpus DIR (the trace persists "
                        "as <corpus>/telemetry/trace.jsonl)")
+    if args.db_path is not None and args.corpus is None:
+        raise CLIError("--db requires --corpus DIR (store ingestion reads "
+                       "the telemetry persisted under the corpus)")
     orchestrated = OrchestratedCampaign(
         config,
         workers=args.workers,
@@ -264,7 +357,8 @@ def _run(args: argparse.Namespace) -> int:
         max_seeds_per_session=args.max_seeds_per_session,
         reduce=args.reduce,
         reduce_jobs=args.reduce_jobs,
-        trace=args.trace)
+        trace=args.trace,
+        db_path=args.db_path)
     try:
         result = orchestrated.run()
     except CheckpointMismatch as exc:
@@ -303,6 +397,10 @@ def _run(args: argparse.Namespace) -> int:
         summary["cache"] = orchestrated.telemetry_summary["cache"]
     if args.trace:
         summary["telemetry_dir"] = os.path.join(args.corpus, "telemetry")
+    if orchestrated.telemetry_summary is not None:
+        summary["health"] = orchestrated.telemetry_summary["health"]
+    if orchestrated.db_run_id is not None:
+        summary["db"] = {"path": args.db_path, "run": orchestrated.db_run_id}
     if orchestrated.reductions:
         summary["reductions"] = [record.to_json()
                                  for record in orchestrated.reductions]
@@ -330,6 +428,16 @@ def _run(args: argparse.Namespace) -> int:
         print(f"telemetry             : {summary['telemetry_dir']} "
               f"(replay: python -m repro.orchestrator stats "
               f"{args.corpus})")
+    if "health" in summary:
+        health = summary["health"]
+        stalls = (f", {health['stalls']} stall(s), worst gap "
+                  f"{health['worst_gap_seconds']}s"
+                  if health["stalls"] else "")
+        print(f"health                : {health['status']}{stalls}")
+    if "db" in summary:
+        print(f"telemetry store       : run {summary['db']['run']} in "
+              f"{summary['db']['path']} (query: python -m "
+              f"repro.orchestrator db --db {summary['db']['path']} query)")
     print(f"wall-clock            : {summary['duration_seconds']}s "
           f"({summary['workers']} worker(s))")
     if orchestrated.reductions:
@@ -425,15 +533,25 @@ def _stats_main(argv: List[str]) -> int:
     """The ``stats`` subcommand: replay persisted telemetry into a profile."""
     args = build_stats_parser().parse_args(argv)
     from repro.telemetry.profile import load_profile
+    if not os.path.isdir(args.campaign_dir):
+        print(f"error: {args.campaign_dir!r} is not a campaign directory",
+              file=sys.stderr)
+        return 2
     try:
         profile = load_profile(args.campaign_dir)
-    except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    except FileNotFoundError:
+        # An existing campaign dir that simply was never traced is not an
+        # error — report the situation and how to change it, exit clean.
+        print(f"no telemetry recorded under {args.campaign_dir} "
+              f"(run the campaign with --trace to record one)")
+        return 0
     except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
         print(f"error: telemetry under {args.campaign_dir!r} is unreadable "
               f"({exc})", file=sys.stderr)
         return 2
+    exit_code = _stats_exports(args)
+    if exit_code is not None:
+        return exit_code
     if args.as_json:
         print(json.dumps(profile.to_json(), indent=2))
         return 0
@@ -459,6 +577,163 @@ def _stats_main(argv: List[str]) -> int:
     if counters.get("vm.runs"):
         print(f"vm                    : {counters['vm.runs']} runs, "
               f"{counters.get('vm.steps', 0)} steps")
+    return 0
+
+
+def _stats_exports(args: argparse.Namespace) -> Optional[int]:
+    """Handle ``stats --export-chrome/--export-folded``.
+
+    Returns an exit code when exporting was requested (0 done, 2 error),
+    None when no export flag was given and stats should render normally.
+    """
+    if args.export_chrome is None and args.export_folded is None:
+        return None
+    from repro.telemetry.export import write_chrome_trace, write_folded_stacks
+    from repro.telemetry.profile import telemetry_paths
+    from repro.telemetry.tracer import read_trace
+    trace_path = telemetry_paths(args.campaign_dir)[0]
+    if not os.path.exists(trace_path):
+        print(f"error: no span trace under {args.campaign_dir!r} — exports "
+              f"need a campaign recorded with --trace (metrics alone are "
+              f"not exportable)", file=sys.stderr)
+        return 2
+    events = read_trace(trace_path)
+    if args.export_chrome is not None:
+        path = write_chrome_trace(events, args.export_chrome)
+        print(f"chrome trace          : {path} (load in chrome://tracing "
+              f"or https://ui.perfetto.dev)")
+    if args.export_folded is not None:
+        path = write_folded_stacks(events, args.export_folded)
+        print(f"folded stacks         : {path} (feed to flamegraph.pl or "
+              f"speedscope)")
+    return 0
+
+
+def _watch_main(argv: List[str]) -> int:
+    """The ``watch`` subcommand: live stats for a running traced campaign."""
+    import time as _time
+
+    from repro.telemetry.monitor import DEFAULT_STALL_FACTOR, WatchView
+    args = build_watch_parser().parse_args(argv)
+    if not os.path.isdir(args.campaign_dir):
+        print(f"error: {args.campaign_dir!r} is not a campaign directory",
+              file=sys.stderr)
+        return 2
+    view = WatchView(args.campaign_dir,
+                     stall_factor=(args.stall_factor
+                                   if args.stall_factor is not None
+                                   else DEFAULT_STALL_FACTOR))
+    deadline = (_time.monotonic() + args.timeout
+                if args.timeout is not None else None)
+    while True:
+        view.refresh()
+        if args.as_json:
+            print(json.dumps(view.snapshot()), flush=True)
+        else:
+            for line in view.format_lines():
+                print(line, flush=True)
+        if args.once:
+            return 0
+        if view.finished:
+            print("campaign finished")
+            return 0
+        if deadline is not None and _time.monotonic() >= deadline:
+            print("watch timeout reached; campaign still running")
+            return 0
+        _time.sleep(max(0.05, args.interval))
+
+
+def _db_main(argv: List[str]) -> int:
+    """The ``db`` subcommand: the cross-campaign telemetry store CLI."""
+    from repro.telemetry.store import TelemetryStore
+    args = build_db_parser().parse_args(argv)
+    with TelemetryStore(args.db_path) as store:
+        if args.db_command == "ingest":
+            return _db_ingest(store, args)
+        if args.db_command == "query":
+            return _db_query(store, args)
+        return _db_trend(store, args)
+
+
+def _db_ingest(store, args: argparse.Namespace) -> int:
+    if not args.campaign_dirs and args.bench_dir is None:
+        print("error: nothing to ingest — pass campaign directories and/or "
+              "--bench-dir", file=sys.stderr)
+        return 2
+    for campaign_dir in args.campaign_dirs:
+        try:
+            run_id = store.ingest_campaign(campaign_dir)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            print(f"error: telemetry under {campaign_dir!r} is unreadable "
+                  f"({exc})", file=sys.stderr)
+            return 2
+        print(f"ingested {campaign_dir} as run {run_id}")
+    if args.bench_dir is not None:
+        added = store.ingest_bench_dir(args.bench_dir)
+        total = sum(added.values())
+        print(f"ingested {total} bench sample(s) from "
+              f"{len(added)} artifact(s) under {args.bench_dir}")
+    counts = store.summary()
+    print(f"store: {counts['runs']} runs, {counts['spans']} spans, "
+          f"{counts['metric_points']} metric points, "
+          f"{counts['bench_samples']} bench samples")
+    return 0
+
+
+def _db_query(store, args: argparse.Namespace) -> int:
+    runs = store.runs(campaign=args.campaign, last=args.last)
+    if args.as_json:
+        payload = {"runs": [run.to_json() for run in runs]}
+        if args.metrics:
+            payload["metrics"] = store.metric_names()
+        print(json.dumps(payload, indent=2))
+        return 0
+    if not runs:
+        print("no runs stored"
+              + (f" for campaign {args.campaign}" if args.campaign else "")
+              + " — ingest one with: python -m repro.orchestrator db "
+                "--db ... ingest <campaign-dir>")
+        return 0
+    from repro.utils.text import format_table
+    headers = ["Run", "Ingested", "Campaign", "Git", "Seeds", "Spans",
+               "Wall (s)", "Health"]
+    rows = []
+    for run in runs:
+        import datetime
+        stamp = datetime.datetime.fromtimestamp(run.ingested_at)
+        rows.append([run.id, stamp.strftime("%Y-%m-%d %H:%M"),
+                     (run.campaign or "?")[:16],
+                     (run.git_sha or "?")[:10], run.seeds, run.spans,
+                     f"{run.wall_seconds:.2f}" if run.wall_seconds else "-",
+                     run.health or "-"])
+    print(format_table(headers, rows))
+    if args.metrics:
+        print(f"metrics: {', '.join(store.metric_names())}")
+    return 0
+
+
+def _db_trend(store, args: argparse.Namespace) -> int:
+    points = store.trend(args.metric, last=args.last,
+                         campaign=args.campaign)
+    if args.as_json:
+        print(json.dumps({"metric": args.metric,
+                          "points": [p.to_json() for p in points]},
+                         indent=2))
+        return 0
+    if not points:
+        known = store.metric_names()
+        hint = (f" (known metrics include: {', '.join(known[:8])}...)"
+                if known else " (the store is empty — ingest campaigns "
+                              "first)")
+        print(f"no data for metric {args.metric!r}{hint}")
+        return 0
+    from repro.analysis import table_campaign_trend
+    from repro.utils.text import format_table
+    headers, rows = table_campaign_trend(args.metric, points)
+    print(format_table(headers, rows))
     return 0
 
 

@@ -1,0 +1,179 @@
+"""Standard-format exporters for persisted span traces.
+
+Two targets, both fed from the ``trace.jsonl`` event list (see
+:mod:`repro.telemetry.tracer`):
+
+* **Chrome trace-event JSON** (:func:`to_chrome_trace` /
+  :func:`write_chrome_trace`) — loadable by ``chrome://tracing``, Perfetto
+  and speedscope.  Each span becomes one complete ``"ph": "X"`` event;
+  every seed scope maps to its own thread lane (span ``t`` offsets are
+  relative to the originating tracer's epoch, so timestamps are only
+  comparable *within* a scope — exactly the per-thread model the format
+  assumes).
+* **Folded stacks** (:func:`to_folded_stacks` / :func:`write_folded_stacks`)
+  — Brendan Gregg's ``flamegraph.pl`` / speedscope input: one
+  ``a;b;c weight`` line per distinct call path, weighted by *self* time in
+  integer microseconds.
+
+Both exports are deterministic functions of the event list: events are
+ordered by (scope, start, id) and serialized with sorted keys, so the same
+trace always produces byte-identical output — the export round-trip tests
+pin that.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+#: Thread id of parent-side (scope-less) spans in the Chrome export; seed
+#: scopes map to ``scope + _SEED_TID_BASE`` so they can never collide.
+PARENT_TID = 0
+_SEED_TID_BASE = 1
+
+
+def _span_events(events: List[dict]) -> List[dict]:
+    spans = [event for event in events if event.get("ev") == "span"]
+    # (scope, start, id) is a total order: ids are unique per scope and
+    # restarts of the same scope cannot happen within one trace.
+    return sorted(spans, key=lambda e: (e.get("scope") is not None,
+                                        e.get("scope") or 0,
+                                        e.get("t", 0.0), e.get("id", 0)))
+
+
+def _tid(event: dict) -> int:
+    scope = event.get("scope")
+    return PARENT_TID if scope is None else _SEED_TID_BASE + int(scope)
+
+
+def to_chrome_trace(events: List[dict]) -> dict:
+    """Convert trace events to a Chrome trace-event document (a dict).
+
+    The result has a ``traceEvents`` list of complete (``"ph": "X"``)
+    events with microsecond ``ts``/``dur``, one thread per seed scope, plus
+    thread-name metadata rows; ``json.dump`` it (or use
+    :func:`write_chrome_trace`) and load the file in ``chrome://tracing``
+    or https://ui.perfetto.dev.
+    """
+    trace_events: List[dict] = []
+    seen_tids: Dict[int, Optional[int]] = {}
+    campaign = None
+    for event in events:
+        if event.get("ev") == "meta" and campaign is None:
+            campaign = event.get("campaign")
+    for event in _span_events(events):
+        tid = _tid(event)
+        seen_tids.setdefault(tid, event.get("scope"))
+        args = dict(event.get("attrs") or {})
+        if event.get("error") is not None:
+            args["error"] = event["error"]
+        record = {
+            "ph": "X",
+            "name": event["name"],
+            "pid": 1,
+            "tid": tid,
+            "ts": int(round(event.get("t", 0.0) * 1e6)),
+            "dur": int(round(event.get("dur", 0.0) * 1e6)),
+            "cat": "repro",
+        }
+        if args:
+            record["args"] = args
+        trace_events.append(record)
+    metadata: List[dict] = [{
+        "ph": "M", "name": "process_name", "pid": 1, "tid": PARENT_TID,
+        "args": {"name": f"repro campaign {campaign or '?'}"},
+    }]
+    for tid in sorted(seen_tids):
+        scope = seen_tids[tid]
+        label = "campaign" if scope is None else f"seed {scope}"
+        metadata.append({"ph": "M", "name": "thread_name", "pid": 1,
+                         "tid": tid, "args": {"name": label}})
+    return {"traceEvents": metadata + trace_events,
+            "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: List[dict], path: str) -> str:
+    """Serialize :func:`to_chrome_trace` to *path*; returns the path.
+
+    Output is byte-stable for a given event list (sorted keys, fixed
+    separators, trailing newline).
+    """
+    document = to_chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True, separators=(",", ":"))
+        handle.write("\n")
+    return path
+
+
+def parse_chrome_trace(path: str) -> dict:
+    """Load a written Chrome trace back (used by tests and validators)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _stack_paths(events: List[dict]) -> List[Tuple[Tuple[str, ...], float]]:
+    """``(name path from root, self seconds)`` for every span, per scope."""
+    by_scope: Dict[object, List[dict]] = {}
+    for event in _span_events(events):
+        by_scope.setdefault(event.get("scope"), []).append(event)
+    paths: List[Tuple[Tuple[str, ...], float]] = []
+    for scope_events in by_scope.values():
+        by_id = {event["id"]: event for event in scope_events}
+        child_time: Dict[int, float] = {}
+        for event in scope_events:
+            parent = event.get("parent")
+            if parent in by_id:
+                child_time[parent] = (child_time.get(parent, 0.0)
+                                      + event.get("dur", 0.0))
+        for event in scope_events:
+            names = [event["name"]]
+            cursor, hops = event, 0
+            # A cycle cannot occur in a well-formed trace; the hop cap
+            # bounds the walk on corrupted input instead of spinning.
+            while cursor.get("parent") in by_id and hops < 1000:
+                cursor = by_id[cursor["parent"]]
+                names.append(cursor["name"])
+                hops += 1
+            self_seconds = max(
+                0.0, event.get("dur", 0.0) - child_time.get(event["id"], 0.0))
+            paths.append((tuple(reversed(names)), self_seconds))
+    return paths
+
+
+def to_folded_stacks(events: List[dict]) -> List[str]:
+    """Fold the span trace into ``path;to;span weight`` flamegraph lines.
+
+    Weights are *self* time in integer microseconds, aggregated across all
+    seed scopes (identical call paths merge), sorted lexically — a
+    deterministic, ``flamegraph.pl``-ready folding of the whole campaign.
+    Zero-weight paths are kept so call structure survives even for spans
+    faster than a microsecond.
+    """
+    weights: Dict[str, int] = {}
+    for path, self_seconds in _stack_paths(events):
+        key = ";".join(path)
+        weights[key] = weights.get(key, 0) + int(round(self_seconds * 1e6))
+    return [f"{key} {weight}" for key, weight in sorted(weights.items())]
+
+
+def write_folded_stacks(events: List[dict], path: str) -> str:
+    """Write :func:`to_folded_stacks` lines to *path*; returns the path."""
+    lines = to_folded_stacks(events)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))
+        if lines:
+            handle.write("\n")
+    return path
+
+
+def parse_folded_stacks(path: str) -> Dict[str, int]:
+    """Load a folded-stacks file back into ``{path: weight}``."""
+    stacks: Dict[str, int] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            key, _, weight = line.rpartition(" ")
+            stacks[key] = int(weight)
+    return stacks

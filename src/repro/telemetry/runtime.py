@@ -245,6 +245,27 @@ def span(name: str, **attrs: Any):
     return active.span(name, **attrs)
 
 
+def heartbeat(seed_index: int) -> None:
+    """Record a worker liveness pulse for the seed that just completed.
+
+    Sets the ``worker.heartbeat.time`` (wall clock) and
+    ``worker.heartbeat.seed`` gauges and bumps the ``worker.heartbeats``
+    counter.  Gauges merge by maximum, so after the parent-side batch merge
+    the session metrics always carry the *latest* pulse any worker sent —
+    the liveness signal health monitoring reads.  The counter increments
+    exactly once per seed, keeping ``deterministic_totals()`` identical
+    between serial and parallel runs.  Disabled: one global check.
+    """
+    session = _STATE
+    if session is None:
+        return
+    registry = session.scope.metrics if session.scope is not None \
+        else session.metrics
+    registry.gauge("worker.heartbeat.time").set(time.time())
+    registry.gauge("worker.heartbeat.seed").set(float(seed_index))
+    registry.inc("worker.heartbeats")
+
+
 class _StageContext:
     """Times one pipeline stage: histogram observation plus optional span."""
 
@@ -297,20 +318,40 @@ def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
     """Configure the ``repro`` logger hierarchy for CLI/standalone use.
 
     verbosity 0 → WARNING (quiet), 1 → INFO (progress and summaries),
-    2+ → DEBUG (per-seed and cache detail).  Installs a single stream
-    handler on the ``repro`` root logger; calling again reconfigures
-    idempotently (no duplicate handlers).  Library use never needs this —
-    module loggers propagate to whatever the application configured.
+    2+ → DEBUG (per-seed and cache detail).  Installs exactly one stream
+    handler on the ``repro`` root logger; calling again (repeated CLI
+    invocations in one process) retargets that same handler in place —
+    never a second one, so a message can never be emitted twice.  Library
+    use never needs this — module loggers propagate to whatever the
+    application configured.
     """
     level = _LOG_LEVELS.get(max(0, min(2, verbosity)), logging.WARNING)
     root = logging.getLogger("repro")
-    for handler in [h for h in root.handlers
-                    if getattr(h, "_repro_telemetry", False)]:
-        root.removeHandler(handler)
-    handler = logging.StreamHandler(stream if stream is not None
-                                    else sys.stderr)
-    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
-    handler._repro_telemetry = True  # type: ignore[attr-defined]
-    root.addHandler(handler)
+    tagged = [h for h in root.handlers
+              if getattr(h, "_repro_telemetry", False)]
+    # Surviving duplicates (e.g. handlers installed by code predating the
+    # idempotence guarantee) collapse down to the first.
+    for extra in tagged[1:]:
+        root.removeHandler(extra)
+        extra.close()
+    if tagged:
+        handler = tagged[0]
+        # Retarget in place, bypassing setStream(): it flushes the old
+        # stream first, which raises if a previous target (say, a captured
+        # stderr from an earlier CLI invocation) has since been closed.
+        target = stream if stream is not None else sys.stderr
+        if handler.stream is not target:
+            handler.acquire()
+            try:
+                handler.stream = target
+            finally:
+                handler.release()
+    else:
+        handler = logging.StreamHandler(stream if stream is not None
+                                        else sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        handler._repro_telemetry = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
     root.setLevel(level)
     return root

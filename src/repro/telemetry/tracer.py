@@ -37,7 +37,12 @@ class TraceWriter:
         self.path = path
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
-        self._handle: Optional[io.TextIOBase] = open(path, "w", encoding="utf-8")
+        # Line-buffered: every event reaches the file as soon as it closes,
+        # so live `watch` readers tailing the trace see progress without the
+        # writer ever being asked to flush (or being disturbed at all).
+        self._handle: Optional[io.TextIOBase] = open(path, "w",
+                                                     encoding="utf-8",
+                                                     buffering=1)
         self._pid = os.getpid()
 
     def write(self, event: dict) -> None:

@@ -1,0 +1,137 @@
+"""The perf-regression checker: a seeded slowdown is flagged against the
+store's trailing baseline, an unchanged artifact is not, and direction
+rules know which way each field regresses."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.telemetry.store import TelemetryStore, stamp_fields
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench_regression",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                 os.pardir, os.pardir, "scripts",
+                 "check_bench_regression.py"))
+checker = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(checker)
+
+
+def _write_artifact(arts, *, uncached_ms=100.0, speedup=2.0, seq=0.0):
+    record = {"bench": "demo", "schema": 2, "stamp": stamp_fields(),
+              "uncached_ms": uncached_ms, "speedup": speedup,
+              "workers": 4, "seq": seq}
+    (arts / "bench_demo.json").write_text(json.dumps(record),
+                                          encoding="utf-8")
+
+
+@pytest.fixture()
+def seeded(tmp_path):
+    """A store holding three identical baseline samples plus the dirs."""
+    arts = tmp_path / "artifacts"
+    arts.mkdir()
+    db = str(tmp_path / "t.sqlite")
+    with TelemetryStore(db) as store:
+        for seq in range(3):
+            _write_artifact(arts, seq=float(seq))
+            store.ingest_bench_dir(str(arts))
+    _write_artifact(arts)
+    return db, arts
+
+
+def test_direction_rules():
+    assert checker.field_direction("uncached_ms") == -1
+    assert checker.field_direction("fast_path_ns") == -1
+    assert checker.field_direction("wall_seconds") == -1
+    assert checker.field_direction("overhead_share") == -1
+    assert checker.field_direction("speedup") == 1
+    assert checker.field_direction("pooled_programs_per_sec") == 1
+    # Config knobs are not performance signals.
+    assert checker.field_direction("workers") is None
+    assert checker.field_direction("matrix_configs") is None
+
+
+def test_unchanged_artifact_passes(seeded, capsys):
+    db, arts = seeded
+    code = checker.main(["--db", db, "--artifacts", str(arts)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "no regressions" in out
+    assert "❌" not in out
+
+
+def test_seeded_20_percent_slowdown_is_flagged(seeded, capsys):
+    db, arts = seeded
+    _write_artifact(arts, uncached_ms=120.0)
+    code = checker.main(["--db", db, "--artifacts", str(arts)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "regressions detected" in out
+    assert "uncached_ms" in out and "+20.0%" in out
+
+
+def test_throughput_drop_is_flagged_in_other_direction(seeded):
+    db, arts = seeded
+    _write_artifact(arts, speedup=1.0)  # 2.0 → 1.0: −50% throughput
+    rows, regressed = _compare(db, arts)
+    assert regressed
+    by_field = {row["field"]: row for row in rows}
+    assert by_field["speedup"]["status"] == "regression"
+    assert by_field["uncached_ms"]["status"] == "ok"
+
+
+def test_improvement_never_flags(seeded):
+    db, arts = seeded
+    _write_artifact(arts, uncached_ms=50.0, speedup=4.0)
+    rows, regressed = _compare(db, arts)
+    assert not regressed
+    assert all(row["status"] == "ok" for row in rows)
+
+
+def test_empty_baseline_reports_new_and_passes(tmp_path, capsys):
+    arts = tmp_path / "artifacts"
+    arts.mkdir()
+    _write_artifact(arts)
+    db = str(tmp_path / "empty.sqlite")
+    code = checker.main(["--db", db, "--artifacts", str(arts)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "new" in out and "no regressions" in out
+
+
+def test_ingest_flag_stores_current_artifacts(tmp_path, capsys):
+    arts = tmp_path / "artifacts"
+    arts.mkdir()
+    _write_artifact(arts)
+    db = str(tmp_path / "t.sqlite")
+    assert checker.main(["--db", db, "--artifacts", str(arts),
+                         "--ingest"]) == 0
+    capsys.readouterr()
+    with TelemetryStore(db) as store:
+        assert store.summary()["bench_samples"] > 0
+    # The just-ingested samples become the next run's baseline.
+    assert checker.main(["--db", db, "--artifacts", str(arts)]) == 0
+    assert "✅" in capsys.readouterr().out
+
+
+def test_markdown_output_file(seeded, tmp_path, capsys):
+    db, arts = seeded
+    report = str(tmp_path / "report.md")
+    checker.main(["--db", db, "--artifacts", str(arts),
+                  "--output", report])
+    capsys.readouterr()
+    with open(report, "r", encoding="utf-8") as handle:
+        content = handle.read()
+    assert content.startswith("# Bench regression check")
+    assert "| Bench | Field |" in content
+
+
+def _compare(db, arts):
+    with TelemetryStore(db) as store:
+        return checker.compare(store, str(arts),
+                               checker.DEFAULT_THRESHOLD,
+                               checker.DEFAULT_WINDOW)

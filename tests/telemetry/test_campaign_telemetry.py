@@ -24,15 +24,20 @@ SCALE = dict(num_seeds=3, rng_seed=5, max_programs_per_type=1,
 
 @pytest.fixture(scope="module")
 def traced_runs(tmp_path_factory):
-    """One serial and one two-worker traced campaign over identical configs."""
+    """One serial and one two-worker traced campaign over identical configs.
+
+    The parallel run also gets a telemetry store (``--db`` equivalent), so
+    the auto-ingestion tests ride the same campaign."""
     telemetry.disable()
     runs = {}
     for label, workers in (("serial", 1), ("parallel", 2)):
         root = str(tmp_path_factory.mktemp(label))
+        db_path = (os.path.join(root, "telemetry.sqlite")
+                   if workers == 2 else None)
         campaign = OrchestratedCampaign(
             CampaignConfig(**SCALE), workers=workers, corpus=root,
             checkpoint_path=os.path.join(root, "checkpoint.json"),
-            trace=True)
+            trace=True, db_path=db_path)
         campaign.run()
         runs[label] = (root, campaign)
     telemetry.disable()
@@ -113,10 +118,21 @@ def test_stats_cli_renders_profile(traced_runs, capsys):
     assert {stage["name"] for stage in report["stages"]} == set(telemetry.STAGES)
 
 
-def test_stats_cli_without_telemetry_is_clean_error(tmp_path, capsys):
-    assert cli_main(["stats", str(tmp_path)]) == 2
-    err = capsys.readouterr().err
-    assert "error:" in err and "--trace" in err
+def test_stats_cli_untraced_dir_exits_clean(tmp_path, capsys):
+    # An existing campaign dir that was never traced is not an error: say
+    # so explicitly, point at --trace, exit 0.
+    assert cli_main(["stats", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert "no telemetry recorded" in captured.out
+    assert "--trace" in captured.out
+    assert captured.err == ""
+
+
+def test_stats_cli_missing_dir_is_error(tmp_path, capsys):
+    assert cli_main(["stats", str(tmp_path / "nope")]) == 2
+    captured = capsys.readouterr()
+    assert "error:" in captured.err
+    assert captured.out == ""
 
 
 def test_cli_rejects_bad_trace_combinations(capsys):
@@ -161,3 +177,164 @@ def test_untraced_persistent_run_still_records_metrics(tmp_path):
     profile = load_profile(root)
     assert profile.span_count == 0
     assert profile.stage("execute").calls > 0  # synthesized from histograms
+
+
+# ---------------------------------------------------------------------------
+# Observatory: store auto-ingestion, db CLI, exports, watch
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_campaign_auto_ingests_into_store(traced_runs):
+    from repro.telemetry import TelemetryStore
+    root, campaign = traced_runs["parallel"]
+    assert campaign.db_run_id is not None
+    with TelemetryStore(os.path.join(root, "telemetry.sqlite")) as store:
+        runs = store.runs()
+        assert [run.id for run in runs] == [campaign.db_run_id]
+        assert runs[0].seeds == 3
+        assert runs[0].health == "ok"
+        points = store.trend("stage.execute.self_seconds", last=20)
+        assert len(points) >= 1 and points[0].value > 0
+
+
+def test_campaign_summary_includes_health(traced_runs):
+    _, campaign = traced_runs["serial"]
+    health = campaign.telemetry_summary["health"]
+    assert health["status"] == "ok"
+    assert health["batches"] == 3 and health["stalls"] == 0
+
+
+def test_db_cli_query_and_trend(traced_runs, capsys):
+    root, _ = traced_runs["parallel"]
+    db = os.path.join(root, "telemetry.sqlite")
+    assert cli_main(["db", "--db", db, "query", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "Run" in out and "Seeds" in out
+    assert "cache.hits" in out
+
+    assert cli_main(["db", "--db", db, "trend",
+                     "--metric", "campaign.wall_seconds", "--json"]) == 0
+    series = json.loads(capsys.readouterr().out)
+    assert series["metric"] == "campaign.wall_seconds"
+    assert len(series["points"]) == 1
+    assert series["points"][0]["value"] > 0
+
+    # An unknown metric is a hint, not an error.
+    assert cli_main(["db", "--db", db, "trend",
+                     "--metric", "no.such.metric"]) == 0
+    assert "no data" in capsys.readouterr().out
+
+
+def test_db_cli_reingest_is_idempotent(traced_runs, tmp_path, capsys):
+    root, _ = traced_runs["parallel"]
+    db = str(tmp_path / "fresh.sqlite")
+    assert cli_main(["db", "--db", db, "ingest", root]) == 0
+    assert cli_main(["db", "--db", db, "ingest", root]) == 0
+    out = capsys.readouterr().out
+    assert "1 runs" in out  # second ingest found the same content digest
+
+
+def test_cli_db_requires_persistent_corpus(capsys):
+    assert cli_main(["--seeds", "1", "--db", "x.sqlite", "--quiet"]) == 2
+    assert "--corpus" in capsys.readouterr().err
+    assert cli_main(["--mode", "markers", "--seeds", "1",
+                     "--db", "x.sqlite", "--quiet"]) == 2
+    assert "fuzzing-only" in capsys.readouterr().err
+
+
+def test_stats_cli_exports(traced_runs, tmp_path, capsys):
+    from repro.telemetry import parse_chrome_trace, parse_folded_stacks
+    root, _ = traced_runs["serial"]
+    chrome = str(tmp_path / "trace.json")
+    folded = str(tmp_path / "trace.folded")
+    assert cli_main(["stats", root, "--export-chrome", chrome,
+                     "--export-folded", folded]) == 0
+    out = capsys.readouterr().out
+    assert chrome in out and folded in out
+    document = parse_chrome_trace(chrome)
+    spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    assert spans and any(e["name"] == "campaign" for e in spans)
+    assert all(isinstance(e["ts"], int) and e["dur"] >= 0 for e in spans)
+    stacks = parse_folded_stacks(folded)
+    assert any(path.startswith("seed;") for path in stacks)
+
+
+def test_stats_export_without_trace_is_error(tmp_path, capsys):
+    # Metrics alone (an untraced persistent run) cannot produce a span
+    # export: the request is an explicit error, not a silent empty file.
+    root = str(tmp_path / "corpus")
+    _, metrics_path = telemetry_paths(root)
+    os.makedirs(os.path.dirname(metrics_path))
+    with open(metrics_path, "w", encoding="utf-8") as handle:
+        json.dump({"campaign": "x", "metrics": MetricsRegistry().to_json()},
+                  handle)
+    target = str(tmp_path / "t.json")
+    assert cli_main(["stats", root, "--export-chrome", target]) == 2
+    captured = capsys.readouterr()
+    assert "--trace" in captured.err
+    assert not os.path.exists(target)
+
+    # A dir with no telemetry at all keeps the clean exit-0 message even
+    # when an export was requested.
+    empty = str(tmp_path / "empty")
+    os.makedirs(empty)
+    assert cli_main(["stats", empty, "--export-chrome", target]) == 0
+    assert "no telemetry recorded" in capsys.readouterr().out
+
+
+def test_watch_renders_live_stats_against_running_campaign(tmp_path):
+    import threading
+    import time
+
+    from repro.telemetry import WatchView
+    root = str(tmp_path / "corpus")
+    campaign = OrchestratedCampaign(
+        CampaignConfig(num_seeds=2, rng_seed=5, max_programs_per_type=1,
+                       opt_levels=("-O0", "-O2"), triage=False),
+        corpus=root, trace=True)
+    thread = threading.Thread(target=campaign.run)
+    thread.start()
+    try:
+        view = WatchView(root)
+        live_snapshots = []
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            view.refresh()
+            if view.started and not view.finished:
+                live_snapshots.append(view.snapshot())
+            if view.finished:
+                break
+            time.sleep(0.05)
+    finally:
+        thread.join(timeout=120.0)
+    assert not thread.is_alive()
+    assert view.finished
+    # The view observed the campaign mid-flight (the campaign_start event
+    # lands before any seed executes) and rendered sane live stats.
+    assert live_snapshots
+    first = live_snapshots[0]
+    assert first["seeds_total"] == 2 and first["workers"] == 1
+    assert first["health"]["status"] in ("ok", "waiting")
+    view.refresh()
+    final = view.snapshot()
+    assert final["seeds_done"] == 2 and final["finished"]
+    assert final["health"]["status"] == "finished"
+    lines = view.format_lines()
+    assert lines and "seeds 2/2" in lines[0]
+
+
+def test_watch_cli_once_mode(traced_runs, capsys):
+    root, _ = traced_runs["serial"]
+    assert cli_main(["watch", root, "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "seeds 3/3" in out
+    assert "health: finished" in out
+
+    assert cli_main(["watch", root, "--once", "--json"]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["finished"] and snap["seeds_done"] == 3
+
+
+def test_watch_cli_missing_dir_is_error(tmp_path, capsys):
+    assert cli_main(["watch", str(tmp_path / "nope")]) == 2
+    assert "error:" in capsys.readouterr().err

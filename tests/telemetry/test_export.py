@@ -1,0 +1,160 @@
+"""Export round-trips: Chrome-trace and folded-stacks outputs re-parse,
+preserve span nesting and durations, and are byte-stable for a fixed
+trace fixture."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.export import (PARENT_TID, parse_chrome_trace,
+                                    parse_folded_stacks, to_chrome_trace,
+                                    to_folded_stacks, write_chrome_trace,
+                                    write_folded_stacks)
+from repro.telemetry.tracer import Tracer
+
+
+class FakeClock:
+    """A deterministic clock: each read advances by a fixed step."""
+
+    def __init__(self, step: float = 0.25) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+@pytest.fixture()
+def fixed_trace():
+    """A fixed nested trace: meta + two seed scopes + a campaign span."""
+    events = [{"ev": "meta", "version": 1, "campaign": "fixture"}]
+    for scope in (0, 1):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("seed", index=scope):
+            with tracer.span("generate"):
+                pass
+            with tracer.span("oracle"):
+                with tracer.span("execute"):
+                    pass
+        for event in tracer.events:
+            event["scope"] = scope
+            events.append(event)
+    parent = Tracer(clock=FakeClock())
+    with parent.span("campaign"):
+        pass
+    events.extend(parent.events)
+    return events
+
+
+def test_chrome_trace_structure(fixed_trace):
+    document = to_chrome_trace(fixed_trace)
+    assert document["displayTimeUnit"] == "ms"
+    spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    meta = [e for e in document["traceEvents"] if e["ph"] == "M"]
+    assert len(spans) == 9  # 4 spans per seed scope + campaign
+    # Every complete event carries the required trace-event fields.
+    for event in spans:
+        assert set(event) >= {"ph", "name", "pid", "tid", "ts", "dur"}
+        assert isinstance(event["ts"], int) and isinstance(event["dur"], int)
+    # One lane per scope plus the parent lane, all named.
+    names = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+    assert names == {"campaign", "seed 0", "seed 1"}
+    campaign = next(e for e in spans if e["name"] == "campaign")
+    assert campaign["tid"] == PARENT_TID
+    # Attrs survive as args.
+    seed0 = next(e for e in spans if e["name"] == "seed" and e["tid"] == 1)
+    assert seed0["args"] == {"index": 0}
+
+
+def test_chrome_trace_preserves_nesting_and_durations(fixed_trace):
+    spans = [e for e in to_chrome_trace(fixed_trace)["traceEvents"]
+             if e["ph"] == "X" and e["tid"] == 1]
+    by_name = {e["name"]: e for e in spans}
+    # A child's [ts, ts+dur] interval lies inside its parent's.
+    for child, parent in (("generate", "seed"), ("oracle", "seed"),
+                          ("execute", "oracle")):
+        assert by_name[child]["ts"] >= by_name[parent]["ts"]
+        assert (by_name[child]["ts"] + by_name[child]["dur"]
+                <= by_name[parent]["ts"] + by_name[parent]["dur"])
+    # Durations match the source events (FakeClock steps of 0.25s → µs).
+    source = {e["name"]: e for e in fixed_trace
+              if e.get("ev") == "span" and e.get("scope") == 0}
+    for name, event in by_name.items():
+        assert event["dur"] == int(round(source[name]["dur"] * 1e6))
+
+
+def test_chrome_trace_round_trip(fixed_trace, tmp_path):
+    path = str(tmp_path / "trace.json")
+    assert write_chrome_trace(fixed_trace, path) == path
+    assert parse_chrome_trace(path) == to_chrome_trace(fixed_trace)
+
+
+def test_folded_stacks_paths_and_self_time(fixed_trace):
+    lines = to_folded_stacks(fixed_trace)
+    stacks = dict(line.rsplit(" ", 1) for line in lines)
+    weights = {path: int(w) for path, w in stacks.items()}
+    assert set(weights) == {"campaign", "seed", "seed;generate",
+                            "seed;oracle", "seed;oracle;execute"}
+    source = [e for e in fixed_trace if e.get("ev") == "span"
+              and e.get("scope") == 0]
+    by_name = {e["name"]: e for e in source}
+    # execute is a leaf: its self time is its full duration, summed over
+    # both scopes (the two scopes are clock-identical).
+    assert weights["seed;oracle;execute"] == 2 * int(
+        round(by_name["execute"]["dur"] * 1e6))
+    # oracle's self time excludes the nested execute.
+    oracle_self = by_name["oracle"]["dur"] - by_name["execute"]["dur"]
+    assert weights["seed;oracle"] == 2 * int(round(oracle_self * 1e6))
+
+
+def test_folded_stacks_round_trip(fixed_trace, tmp_path):
+    path = str(tmp_path / "trace.folded")
+    assert write_folded_stacks(fixed_trace, path) == path
+    parsed = parse_folded_stacks(path)
+    lines = to_folded_stacks(fixed_trace)
+    assert parsed == {line.rsplit(" ", 1)[0]: int(line.rsplit(" ", 1)[1])
+                      for line in lines}
+
+
+def test_exports_are_byte_stable(fixed_trace, tmp_path):
+    first = str(tmp_path / "a.json")
+    second = str(tmp_path / "b.json")
+    write_chrome_trace(fixed_trace, first)
+    # Event order in the input must not matter: shuffle deterministically.
+    reordered = list(reversed(fixed_trace))
+    write_chrome_trace(reordered, second)
+    with open(first, "rb") as a, open(second, "rb") as b:
+        assert a.read() == b.read()
+
+    first_folded = str(tmp_path / "a.folded")
+    second_folded = str(tmp_path / "b.folded")
+    write_folded_stacks(fixed_trace, first_folded)
+    write_folded_stacks(reordered, second_folded)
+    with open(first_folded, "rb") as a, open(second_folded, "rb") as b:
+        assert a.read() == b.read()
+
+
+def test_empty_trace_exports_cleanly(tmp_path):
+    document = to_chrome_trace([])
+    assert [e for e in document["traceEvents"] if e["ph"] == "X"] == []
+    assert to_folded_stacks([]) == []
+    path = str(tmp_path / "empty.folded")
+    write_folded_stacks([], path)
+    assert parse_folded_stacks(path) == {}
+
+
+def test_error_spans_carry_error_arg(tmp_path):
+    tracer = Tracer(clock=FakeClock())
+    with pytest.raises(ValueError):
+        with tracer.span("boom"):
+            raise ValueError("nope")
+    spans = [e for e in to_chrome_trace(tracer.events)["traceEvents"]
+             if e["ph"] == "X"]
+    assert spans[0]["args"]["error"] == "ValueError"
+
+
+def test_json_serializable(fixed_trace):
+    json.dumps(to_chrome_trace(fixed_trace))

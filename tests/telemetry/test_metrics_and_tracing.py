@@ -317,3 +317,46 @@ def test_configure_logging_levels_and_idempotence():
         for handler in [h for h in root.handlers
                         if getattr(h, "_repro_telemetry", False)]:
             root.removeHandler(handler)
+
+
+def test_configure_logging_twice_emits_each_message_once():
+    """Regression: repeated CLI invocations in one process must not stack
+    stream handlers — a second call used to double every log line."""
+    stream = io.StringIO()
+    root = configure_logging(1, stream=stream)
+    try:
+        configure_logging(1, stream=stream)
+        handlers = [h for h in root.handlers
+                    if getattr(h, "_repro_telemetry", False)]
+        assert len(handlers) == 1
+        logging.getLogger("repro.test").info("logged once")
+        assert stream.getvalue().count("logged once") == 1
+    finally:
+        for handler in [h for h in root.handlers
+                        if getattr(h, "_repro_telemetry", False)]:
+            root.removeHandler(handler)
+
+
+def test_configure_logging_collapses_stray_duplicate_handlers():
+    """Handlers installed before the idempotence guarantee (or by buggy
+    embedders) collapse to one on the next configure call."""
+    stream = io.StringIO()
+    root = logging.getLogger("repro")
+    strays = []
+    for _ in range(3):
+        handler = logging.StreamHandler(stream)
+        handler._repro_telemetry = True
+        root.addHandler(handler)
+        strays.append(handler)
+    try:
+        configure_logging(1, stream=stream)
+        handlers = [h for h in root.handlers
+                    if getattr(h, "_repro_telemetry", False)]
+        assert len(handlers) == 1
+        assert handlers[0] is strays[0]  # reused in place, extras closed
+        logging.getLogger("repro.test").info("deduplicated")
+        assert stream.getvalue().count("deduplicated") == 1
+    finally:
+        for handler in [h for h in root.handlers
+                        if getattr(h, "_repro_telemetry", False)]:
+            root.removeHandler(handler)
