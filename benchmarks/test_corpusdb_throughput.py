@@ -1,0 +1,122 @@
+"""Findings-database flush cost — O(delta), never O(corpus).
+
+The corpus store queues per-seed work and commits it as one transaction
+per flush.  The paper's campaign scale (months of seeds) only works if a
+flush touches rows proportional to the *delta* being committed, not the
+accumulated corpus: this bench grows one database to many times the size
+of another, commits an identical delta to both, and asserts the row-ops
+figure is exactly equal while the wall-clock stays in the same ballpark.
+"""
+
+import os
+import time
+
+from bench_common import bench_print, write_bench_record
+
+from repro.corpusdb import FindingsDB, crash_signature, program_digest
+
+#: The large database persists under artifacts/ (gitignored; CI uploads
+#: it from the throughput job) so the bench leaves an inspectable corpus.
+ARTIFACTS = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         os.pardir, "artifacts")
+
+#: Deltas pre-loaded into the small / large database before measuring.
+SMALL_CORPUS = 20
+LARGE_CORPUS = 400
+
+#: Shape of one per-seed delta (programs carry distinct sources so the
+#: large corpus genuinely holds LARGE_CORPUS times more blob data).
+PROGRAMS_PER_SEED = 3
+OUTCOMES_PER_PROGRAM = 4
+
+
+def _delta(seed_index: int):
+    programs, hits, outcomes = [], [], []
+    for position in range(PROGRAMS_PER_SEED):
+        source = (f"int main() {{ return {seed_index} * 1000 + "
+                  f"{position}; }}\n" + "/* pad */\n" * 32)
+        program_id = f"s{seed_index:05d}-p{position:03d}"
+        programs.append({"program_id": program_id, "seed_index": seed_index,
+                         "position": position, "source": source,
+                         "ub_type": "buffer-overflow-array",
+                         "generator": "ubfuzz"})
+        digest = program_digest(source)
+        for column in range(OUTCOMES_PER_PROGRAM):
+            outcomes.append({"program_digest": digest, "compiler": "gcc",
+                             "version": "", "pipeline": f"-O{column % 4}",
+                             "sanitizer": "asan", "status": "silent",
+                             "detail": ""})
+        hits.append({"kind": "crash",
+                     "signature": crash_signature("buffer-overflow-array",
+                                                  f"{seed_index}:1", "asan"),
+                     "subject": "buffer-overflow-array",
+                     "crash_site": f"{seed_index}:1", "sanitizer": "asan",
+                     "slug": f"buffer-overflow-array-{seed_index}_1-asan",
+                     "program_id": program_id, "program_digest": digest,
+                     "config": "gcc -O2 -fsanitize=asan"})
+    return {"seeds": [seed_index], "programs": programs, "hits": hits,
+            "outcomes": outcomes}
+
+
+def _build(path: str, deltas: int) -> FindingsDB:
+    db = FindingsDB(path)
+    campaign = db.open_campaign("bench")
+    for seed_index in range(deltas):
+        db.ingest_delta(campaign, **_delta(seed_index))
+    return db
+
+
+def _measure_flush(db: FindingsDB, seed_index: int):
+    campaign = db.campaign_id("bench")
+    start = time.perf_counter()
+    ops = db.ingest_delta(campaign, **_delta(seed_index))
+    return ops, time.perf_counter() - start
+
+
+def test_flush_cost_tracks_delta_not_corpus(benchmark, tmp_path):
+    os.makedirs(ARTIFACTS, exist_ok=True)
+    large_path = os.path.join(ARTIFACTS, "bench_findings.sqlite")
+    for suffix in ("", "-wal", "-shm"):
+        if os.path.exists(large_path + suffix):
+            os.remove(large_path + suffix)
+    small = _build(str(tmp_path / "small.sqlite"), SMALL_CORPUS)
+    large = _build(large_path, LARGE_CORPUS)
+
+    # Warm both connections, then commit one identical-shape fresh delta.
+    small_ops, small_seconds = _measure_flush(small, SMALL_CORPUS)
+
+    def flush_into_large():
+        return _measure_flush(large, LARGE_CORPUS)
+
+    large_ops, large_seconds = benchmark.pedantic(flush_into_large,
+                                                  rounds=1, iterations=1)
+    small_rows = small.summary()
+    large_rows = large.summary()
+    small.close()
+    large.close()
+
+    bench_print()
+    bench_print("=== Findings DB flush cost (one per-seed delta) ===")
+    bench_print(f"small corpus : {small_rows['programs']:5d} programs -> "
+                f"flush {small_ops} row-ops in {small_seconds * 1e3:7.2f}ms")
+    bench_print(f"large corpus : {large_rows['programs']:5d} programs -> "
+                f"flush {large_ops} row-ops in {large_seconds * 1e3:7.2f}ms")
+    bench_print(f"corpus ratio : {LARGE_CORPUS // SMALL_CORPUS}x rows, "
+                f"flush ops ratio {large_ops / small_ops:.2f}x")
+
+    write_bench_record(
+        "corpusdb_throughput",
+        small_corpus_programs=small_rows["programs"],
+        large_corpus_programs=large_rows["programs"],
+        small_flush_ops=small_ops,
+        large_flush_ops=large_ops,
+        small_flush_ms=round(small_seconds * 1e3, 3),
+        large_flush_ms=round(large_seconds * 1e3, 3))
+
+    # The invariant the corpus refactor exists for: identical deltas cost
+    # identical row-ops no matter how large the corpus already is.  (The
+    # wall-clock figures are reported, not asserted — CI machines vary and
+    # SQLite btree depth adds a logarithmic factor we accept.)
+    assert large_rows["programs"] >= 10 * small_rows["programs"]
+    assert small_ops > 0
+    assert large_ops == small_ops

@@ -220,6 +220,46 @@ def table_campaign_trend(metric: str, points) -> Table:
     return headers, rows
 
 
+def table_bucket_lifetimes(buckets: Sequence[dict]) -> Table:
+    """Cross-campaign lifetime of every finding bucket.
+
+    *buckets* is the output of
+    :meth:`~repro.corpusdb.db.FindingsDB.query_buckets`.  ``Lifetime`` is
+    last-seen minus first-seen; a bucket that keeps recurring across
+    campaigns (many campaigns, long lifetime) is a stable compiler defect,
+    while single-campaign buckets are either fresh or flaky.
+    """
+    headers = ["Bucket", "Kind", "Campaigns", "Hits", "First campaign",
+               "Lifetime (h)"]
+    rows: Rows = []
+    for bucket in buckets:
+        first = bucket.get("first_seen_at") or 0.0
+        last = bucket.get("last_seen_at") or first
+        lifetime = f"{(last - first) / 3600.0:.2f}" if first else "-"
+        rows.append([bucket["slug"], bucket["kind"], bucket["campaigns"],
+                     bucket["count"],
+                     (bucket.get("first_campaign_key") or "?")[-32:],
+                     lifetime])
+    return headers, rows
+
+
+def table_campaign_recurrence(campaigns: Sequence[dict]) -> Table:
+    """Per-campaign new-vs-recurrent bucket split, oldest campaign first.
+
+    *campaigns* is the output of
+    :meth:`~repro.corpusdb.db.FindingsDB.campaign_recurrence`.  The
+    ``Recurrent`` column is the cross-campaign dedup payoff: buckets the
+    campaign re-found that an earlier campaign had already recorded.
+    """
+    headers = ["Campaign", "Mode", "Buckets", "New", "Recurrent", "Hits"]
+    rows: Rows = []
+    for campaign in campaigns:
+        rows.append([(campaign["key"] or "?")[-40:], campaign["mode"],
+                     campaign["buckets_hit"], campaign["new_buckets"],
+                     campaign["recurrent_buckets"], campaign["hits"]])
+    return headers, rows
+
+
 def bug_summary_rows(reports: Sequence[BugReport]) -> Rows:
     """A flat listing of found bugs (used by examples and docs)."""
     rows: Rows = []

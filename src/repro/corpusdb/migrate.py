@@ -1,0 +1,162 @@
+"""Import a legacy flat campaign directory into the findings database.
+
+Before this package existed, a campaign's findings lived in a flat
+``corpus.json`` next to ``programs/*.c`` and ``reduced/*.c``.  The
+importer walks that layout once and lands everything in the database —
+programs (compressed, content-addressed), crash buckets under the same
+``(kind, UB type, crash site, sanitizer)`` signatures new campaigns use
+(so a migrated bucket deduplicates against future finds), reductions and
+ingested-seed bookkeeping.  Re-running the migration is idempotent.
+
+CLI entry point: ``python -m repro.orchestrator migrate <campaign-dir>
+--db findings.sqlite``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from typing import Dict, List, Optional
+
+from repro.corpusdb.db import (CRASH_KIND, FindingsDB, crash_signature,
+                               program_digest)
+
+logger = logging.getLogger(__name__)
+
+INDEX_NAME = "corpus.json"
+
+
+def _legacy_slug(ub_type: str, site: str, sanitizer: str) -> str:
+    site = site.replace(":", "_").replace("?", "unknown")
+    return f"{ub_type}-{site}-{sanitizer}"
+
+
+def _read_source(root: str, relative: str) -> Optional[str]:
+    path = os.path.join(root, relative)
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def migrate_campaign_dir(db: FindingsDB, campaign_dir: str,
+                         key: Optional[str] = None,
+                         now: Optional[float] = None) -> Dict[str, object]:
+    """Import one flat campaign directory; returns a count report.
+
+    *key* defaults to the directory's absolute path — the same identity a
+    DB-backed campaign over that directory would use, so migrating and
+    then resuming the campaign continue one history instead of forking.
+    """
+    campaign_dir = str(campaign_dir)
+    index_path = os.path.join(campaign_dir, INDEX_NAME)
+    if not os.path.exists(index_path):
+        raise FileNotFoundError(
+            f"not a campaign directory (no {INDEX_NAME}): {campaign_dir}")
+    with open(index_path, "r", encoding="utf-8") as handle:
+        index = json.load(handle)
+
+    campaign_key = key or os.path.abspath(campaign_dir)
+    campaign_id = db.open_campaign(campaign_key, mode="fuzz",
+                                   root=campaign_dir, now=now)
+
+    programs: List[dict] = []
+    digests: Dict[str, str] = {}
+    missing_sources = 0
+    for program_id, record in sorted(index.get("programs", {}).items()):
+        source = _read_source(campaign_dir,
+                              os.path.join("programs", program_id + ".c"))
+        if source is None:
+            # An in-memory campaign's exported index, or a pruned programs/
+            # directory: the metadata row is useless without its blob.
+            missing_sources += 1
+            continue
+        digests[program_id] = program_digest(source)
+        programs.append({
+            "program_id": program_id,
+            "seed_index": record.get("seed_index", 0),
+            "position": record.get("position", 0),
+            "source": source,
+            "ub_type": record.get("ub_type"),
+            "generator": record.get("generator"),
+            "fn_candidates": record.get("fn_candidates", 0),
+            "wrong_reports": record.get("wrong_reports", 0),
+        })
+
+    hits: List[dict] = []
+    reductions: List[dict] = []
+    legacy_counts: Dict[str, int] = {}
+    for record in index.get("buckets", []):
+        ub_type = record["ub_type"]
+        site = record["crash_site"]
+        sanitizer = record["sanitizer"]
+        signature = crash_signature(ub_type, site, sanitizer)
+        slug = _legacy_slug(ub_type, site, sanitizer)
+        legacy_counts[signature] = record.get("count", 0)
+        # The flat index kept per-bucket program and config *lists*, not
+        # the per-hit pairing, so the import takes the cross product — the
+        # query CLI's --compiler filter needs every config label attached.
+        configs = list(record.get("configs", [])) or [""]
+        for program_id in record.get("program_ids", []):
+            for config in configs:
+                hits.append({
+                    "kind": CRASH_KIND,
+                    "signature": signature,
+                    "subject": ub_type,
+                    "crash_site": site,
+                    "sanitizer": sanitizer,
+                    "slug": slug,
+                    "program_id": program_id,
+                    "program_digest": digests.get(program_id, ""),
+                    "config": config,
+                })
+        reduction = record.get("reduction")
+        if reduction:
+            reduced_source = reduction.get("source")
+            if reduced_source is None and reduction.get("path"):
+                reduced_source = _read_source(campaign_dir, reduction["path"])
+            if reduced_source is not None:
+                stats = {k: v for k, v in reduction.items()
+                         if k not in ("source", "path")}
+                reductions.append({"kind": CRASH_KIND,
+                                   "signature": signature,
+                                   "source": reduced_source,
+                                   "stats": stats})
+
+    ops = db.ingest_delta(campaign_id,
+                          seeds=index.get("ingested_seeds", []),
+                          programs=programs, hits=hits,
+                          reductions=reductions, now=now)
+
+    # The legacy count is per-candidate, not per-(program, config) pair, so
+    # restore the recorded figure rather than keeping the cross product's.
+    from repro.corpusdb.connection import immediate
+    with immediate(db.connection):
+        for signature, count in legacy_counts.items():
+            db.connection.execute(
+                "UPDATE corpus_buckets SET count = ? "
+                "WHERE kind = ? AND signature = ?",
+                (count, CRASH_KIND, signature))
+            db.connection.execute(
+                "UPDATE corpus_bucket_campaigns SET hits = ? "
+                "WHERE campaign_id = ? AND bucket_id = (SELECT id FROM "
+                "corpus_buckets WHERE kind = ? AND signature = ?)",
+                (count, campaign_id, CRASH_KIND, signature))
+
+    report = {
+        "campaign_id": campaign_id,
+        "campaign_key": campaign_key,
+        "campaign_dir": campaign_dir,
+        "programs": len(programs),
+        "missing_sources": missing_sources,
+        "buckets": len(legacy_counts),
+        "hits": len(hits),
+        "reductions": len(reductions),
+        "seeds": len(index.get("ingested_seeds", [])),
+        "ops": ops,
+    }
+    logger.info("migrated %s: %d programs, %d buckets, %d reductions",
+                campaign_dir, report["programs"], report["buckets"],
+                report["reductions"])
+    return report

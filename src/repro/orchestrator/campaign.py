@@ -81,6 +81,7 @@ class OrchestratedCampaign:
                  reduce_jobs: int = 1,
                  trace: bool = False,
                  db_path: Optional[str] = None,
+                 resurvey: bool = False,
                  health_monitor: Optional[HealthMonitor] = None) -> None:
         self.config = config if config is not None else CampaignConfig()
         if not isinstance(self.config, CampaignConfig):
@@ -93,12 +94,19 @@ class OrchestratedCampaign:
                     "max_seeds_per_session requires checkpoint/resume, "
                     "which marker campaigns do not support — a capped run "
                     "would silently return a partial result")
+            if resurvey:
+                raise ValueError(
+                    "resurvey applies to fuzzing campaigns; marker "
+                    "campaigns dedupe by bucket signature instead")
         self.executor = executor if executor is not None else make_executor(workers)
         self.checkpoint = (CampaignCheckpoint(checkpoint_path, self.config,
                                               flush_interval=checkpoint_interval)
                            if checkpoint_path is not None else None)
         if isinstance(corpus, (str, bytes)):
-            corpus = CorpusStore(root=corpus)
+            # A shared --db file also hosts the findings tables, so two
+            # campaigns over different corpus dirs dedupe against each
+            # other; without one the store keeps a per-corpus database.
+            corpus = CorpusStore(root=corpus, db_path=db_path)
         self.corpus = corpus
         self.progress = progress
         self.max_seeds_per_session = max_seeds_per_session
@@ -110,11 +118,20 @@ class OrchestratedCampaign:
                 "trace=True requires a persistent corpus (corpus=<dir>) to "
                 "hold telemetry/trace.jsonl")
         self.db_path = db_path
-        if db_path is not None and (self.corpus is None
-                                    or self.corpus.root is None):
+        if (db_path is not None and isinstance(self.config, CampaignConfig)
+                and (self.corpus is None or self.corpus.root is None)):
             raise ValueError(
                 "db_path requires a persistent corpus (corpus=<dir>): "
                 "store ingestion reads the telemetry the corpus persists")
+        self.resurvey = resurvey
+        if resurvey and self.corpus is None:
+            raise ValueError(
+                "resurvey needs a corpus store: the skip set is the "
+                "findings database's recorded outcome cells")
+        #: Resurvey accounting over freshly executed batches (run()).
+        self.surveyed_cells = 0
+        self.skipped_cells = 0
+        self._survey_skip: frozenset = frozenset()
         #: Populated by run(); exposes live throughput/ETA while running.
         self.monitor: Optional[ThroughputMonitor] = None
         #: Stall/straggler detection over freshly executed batches; the
@@ -170,6 +187,11 @@ class OrchestratedCampaign:
                    if index not in completed]
         if self.max_seeds_per_session is not None:
             pending = pending[:self.max_seeds_per_session]
+        self._survey_skip = frozenset()
+        if self.resurvey:
+            self._survey_skip = frozenset(self.corpus.recorded_cells())
+            logger.info("resurvey: %d recorded outcome cells eligible to "
+                        "skip", len(self._survey_skip))
         logger.info("campaign start: %d seeds (%d restored), %d workers",
                     self.config.num_seeds, len(completed),
                     self.executor.workers)
@@ -244,11 +266,17 @@ class OrchestratedCampaign:
                     "campaign": session.campaign,
                     "metrics": registry.to_json(),
                 })
-            self.corpus.flush()
+            # End of run: commit the remaining delta and write the
+            # human-readable corpus.json summary next to the database.
+            self.corpus.finalize()
 
     def _ingest_into_store(self) -> None:
-        """Auto-ingest the finished campaign into the telemetry store."""
-        if self.db_path is None:
+        """Auto-ingest the finished campaign into the telemetry store.
+
+        Fuzzing-only: marker campaigns persist their findings straight into
+        the findings database (:meth:`_run_markers`) and keep no corpus
+        directory for the telemetry store to read."""
+        if self.db_path is None or self.corpus is None:
             return
         from repro.telemetry.store import TelemetryStore
         with TelemetryStore(self.db_path) as store:
@@ -296,6 +324,16 @@ class OrchestratedCampaign:
                                   f"{record.original_tokens} -> "
                                   f"{record.reduced_tokens} tokens "
                                   f"({record.token_reduction:.0%})")
+        if self.db_path is not None:
+            # Marker findings persist into the findings database directly
+            # (the corpus store is crash-specific); re-ingesting the same
+            # campaign fingerprint and findings is idempotent.
+            from repro.corpusdb import FindingsDB
+            fingerprint = config_fingerprint(self.config)
+            with FindingsDB(self.db_path) as db:
+                db.ingest_marker_result(f"markers-{fingerprint}", result,
+                                        fingerprint=fingerprint)
+            logger.info("marker findings ingested into %s", self.db_path)
         return result
 
     # -- internals --------------------------------------------------------------
@@ -372,7 +410,8 @@ class OrchestratedCampaign:
     def _merged_batches(self, completed: Dict[int, SeedBatch],
                         pending: list[int]) -> Iterator[SeedBatch]:
         """Yield batches in seed order, merging checkpointed and fresh ones."""
-        fresh = iter(self.executor.map_seeds(self.config, pending))
+        fresh = iter(self.executor.map_seeds(self.config, pending,
+                                             survey_skip=self._survey_skip))
         try:
             for index in range(self.config.num_seeds):
                 if index in completed:
@@ -395,6 +434,8 @@ class OrchestratedCampaign:
                         self.checkpoint.record(batch)
                     self.monitor.observe(batch)
                     self.health.observe(batch.duration_seconds)
+                    self.surveyed_cells += batch.surveyed_cells
+                    self.skipped_cells += batch.skipped_cells
                 if self.corpus is not None:
                     self.corpus.ingest(batch)
                 yield batch

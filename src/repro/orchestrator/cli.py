@@ -96,10 +96,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "<corpus>/telemetry/trace.jsonl (requires "
                              "--corpus; replay with the 'stats' subcommand)")
     parser.add_argument("--db", default=None, metavar="PATH", dest="db_path",
-                        help="cross-campaign telemetry database (SQLite); "
-                             "the campaign auto-ingests its telemetry on "
-                             "completion (requires --corpus; query with "
-                             "the 'db' subcommand)")
+                        help="cross-campaign database (SQLite); fuzzing "
+                             "campaigns auto-ingest telemetry on completion "
+                             "(requires --corpus; query with the 'db' "
+                             "subcommand), marker campaigns persist their "
+                             "finding buckets (query with 'query')")
+    parser.add_argument("--resurvey", action="store_true",
+                        help="incremental re-run: skip (program, config) "
+                             "outcome cells the findings database already "
+                             "recorded, surveying only new cells (requires "
+                             "--corpus)")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress per-seed progress lines and other "
                              "status logging (warnings still shown)")
@@ -199,6 +205,54 @@ def build_db_parser() -> argparse.ArgumentParser:
                        help="restrict to one config fingerprint")
     trend.add_argument("--json", action="store_true", dest="as_json",
                        help="machine-readable output")
+    return parser
+
+
+def build_query_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.orchestrator query",
+        description="Query the cross-campaign findings database: every "
+                    "finding bucket (crash and marker kinds) with its "
+                    "recurrence history, filterable by bucket slug, "
+                    "compiler, kind and last-seen time.")
+    parser.add_argument("--db", required=True, metavar="PATH", dest="db_path",
+                        help="findings database (a campaign's "
+                             "<corpus>/corpus.sqlite, or the shared --db "
+                             "file)")
+    parser.add_argument("--bucket", default=None, metavar="SUBSTR",
+                        help="only buckets whose slug or signature contains "
+                             "SUBSTR")
+    parser.add_argument("--compiler", default=None, metavar="NAME",
+                        help="only buckets hit under this compiler")
+    parser.add_argument("--kind", default=None, metavar="KIND",
+                        help="bucket kind: crash, missed-optimization, "
+                             "regression, unsound-elimination")
+    parser.add_argument("--since", default=None, metavar="WHEN",
+                        help="only buckets last seen at/after WHEN "
+                             "(YYYY-MM-DD[THH:MM:SS] or a unix timestamp)")
+    parser.add_argument("--campaign", default=None, metavar="KEY",
+                        help="only buckets a given campaign key hit")
+    parser.add_argument("--programs", action="store_true",
+                        help="also print per-bucket program digests")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable output")
+    return parser
+
+
+def build_migrate_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.orchestrator migrate",
+        description="Import legacy flat campaign directories (corpus.json "
+                    "+ programs/ + reduced/) into a findings database; "
+                    "re-running is idempotent, and migrated buckets "
+                    "deduplicate against future campaigns.")
+    parser.add_argument("campaign_dirs", nargs="+", metavar="CAMPAIGN_DIR",
+                        help="legacy campaign corpus directories")
+    parser.add_argument("--db", required=True, metavar="PATH", dest="db_path",
+                        help="findings database to import into (created on "
+                             "first use)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable output")
     return parser
 
 
@@ -307,6 +361,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _watch_main(argv[1:])
     if argv[:1] == ["db"]:
         return _db_main(argv[1:])
+    if argv[:1] == ["query"]:
+        return _query_main(argv[1:])
+    if argv[:1] == ["migrate"]:
+        return _migrate_main(argv[1:])
     args = build_parser().parse_args(argv)
     configure_logging(0 if args.quiet else 1 + args.verbose)
     try:
@@ -337,9 +395,9 @@ def _run(args: argparse.Namespace) -> int:
         if args.trace:
             raise CLIError("--trace is fuzzing-only: marker campaigns have "
                            "no corpus directory to persist the trace into")
-        if args.db_path is not None:
-            raise CLIError("--db is fuzzing-only: marker campaigns persist "
-                           "no telemetry for the store to ingest")
+        if args.resurvey:
+            raise CLIError("--resurvey is fuzzing-only: marker campaigns "
+                           "dedupe by bucket signature instead")
         return _run_markers(args, config, progress)
     if args.trace and args.corpus is None:
         raise CLIError("--trace requires --corpus DIR (the trace persists "
@@ -347,6 +405,9 @@ def _run(args: argparse.Namespace) -> int:
     if args.db_path is not None and args.corpus is None:
         raise CLIError("--db requires --corpus DIR (store ingestion reads "
                        "the telemetry persisted under the corpus)")
+    if args.resurvey and args.corpus is None:
+        raise CLIError("--resurvey requires --corpus DIR (the skip set is "
+                       "the findings database's recorded outcome cells)")
     orchestrated = OrchestratedCampaign(
         config,
         workers=args.workers,
@@ -358,7 +419,8 @@ def _run(args: argparse.Namespace) -> int:
         reduce=args.reduce,
         reduce_jobs=args.reduce_jobs,
         trace=args.trace,
-        db_path=args.db_path)
+        db_path=args.db_path,
+        resurvey=args.resurvey)
     try:
         result = orchestrated.run()
     except CheckpointMismatch as exc:
@@ -392,7 +454,13 @@ def _run(args: argparse.Namespace) -> int:
         corpus_summary = orchestrated.corpus.summary()
         summary["corpus"] = {"programs": corpus_summary["programs"],
                              "crashes": corpus_summary["crashes"],
-                             "unique_crashes": corpus_summary["unique_crashes"]}
+                             "unique_crashes": corpus_summary["unique_crashes"],
+                             "new_buckets": corpus_summary["new_buckets"],
+                             "recurrent_buckets":
+                                 corpus_summary["recurrent_buckets"]}
+    if args.resurvey:
+        summary["resurvey"] = {"surveyed_cells": orchestrated.surveyed_cells,
+                               "skipped_cells": orchestrated.skipped_cells}
     if orchestrated.telemetry_summary is not None:
         summary["cache"] = orchestrated.telemetry_summary["cache"]
     if args.trace:
@@ -422,6 +490,18 @@ def _run(args: argparse.Namespace) -> int:
         print(f"corpus                : {corpus['programs']} programs, "
               f"{corpus['crashes']} crashes in "
               f"{corpus['unique_crashes']} dedup buckets")
+        if corpus["recurrent_buckets"]:
+            print(f"cross-campaign dedup  : {corpus['new_buckets']} "
+                  f"new bucket(s), {corpus['recurrent_buckets']} seen in "
+                  f"earlier campaigns")
+    if "resurvey" in summary:
+        resurvey = summary["resurvey"]
+        total = resurvey["surveyed_cells"] + resurvey["skipped_cells"]
+        pct = (f" ({resurvey['skipped_cells'] / total:.0%} of "
+               f"{total})" if total else "")
+        print(f"resurvey              : {resurvey['surveyed_cells']} cell(s) "
+              f"surveyed, {resurvey['skipped_cells']} already "
+              f"recorded{pct}")
     if "cache" in summary:
         print(f"compilation cache     : {_cache_line(summary['cache'])}")
     if "telemetry_dir" in summary:
@@ -472,7 +552,8 @@ def _run_markers(args: argparse.Namespace, config, progress) -> int:
         workers=args.workers,
         progress=progress,
         reduce=args.reduce,
-        reduce_jobs=args.reduce_jobs)
+        reduce_jobs=args.reduce_jobs,
+        db_path=args.db_path)
     result = orchestrated.run()
     stats = result.stats
     summary = {
@@ -494,6 +575,8 @@ def _run_markers(args: argparse.Namespace, config, progress) -> int:
     }
     if orchestrated.telemetry_summary is not None:
         summary["cache"] = orchestrated.telemetry_summary["cache"]
+    if args.db_path is not None:
+        summary["db"] = {"path": args.db_path}
     if orchestrated.reductions:
         summary["reductions"] = [record.to_json()
                                  for record in orchestrated.reductions]
@@ -520,6 +603,10 @@ def _run_markers(args: argparse.Namespace, config, progress) -> int:
     print(f"finding buckets       : {len(result.buckets)}")
     for line in format_table(headers, rows).splitlines():
         print(f"  {line}")
+    if "db" in summary:
+        print(f"findings database     : {summary['db']['path']} "
+              f"(query: python -m repro.orchestrator query --db "
+              f"{summary['db']['path']})")
     if orchestrated.reductions:
         from repro.analysis.tables import table_reduction_quality
         headers, rows = table_reduction_quality(orchestrated.reductions)
@@ -734,6 +821,115 @@ def _db_trend(store, args: argparse.Namespace) -> int:
     from repro.utils.text import format_table
     headers, rows = table_campaign_trend(args.metric, points)
     print(format_table(headers, rows))
+    return 0
+
+
+def _parse_since(spec: str) -> float:
+    """``--since`` accepts an ISO date/datetime or a raw unix timestamp."""
+    import datetime
+    try:
+        return float(spec)
+    except ValueError:
+        pass
+    for fmt in ("%Y-%m-%dT%H:%M:%S", "%Y-%m-%d %H:%M:%S", "%Y-%m-%d"):
+        try:
+            return datetime.datetime.strptime(spec, fmt).timestamp()
+        except ValueError:
+            continue
+    raise CLIError(f"--since {spec!r} is neither YYYY-MM-DD[THH:MM:SS] "
+                   f"nor a unix timestamp")
+
+
+def _stamp(value) -> str:
+    import datetime
+    if value is None:
+        return "-"
+    return datetime.datetime.fromtimestamp(value).strftime("%Y-%m-%d %H:%M")
+
+
+def _query_main(argv: List[str]) -> int:
+    """The ``query`` subcommand: filterable findings-database view."""
+    from repro.corpusdb import FindingsDB
+    args = build_query_parser().parse_args(argv)
+    if not os.path.exists(args.db_path):
+        print(f"error: findings database {args.db_path!r} does not exist "
+              f"(run a campaign with --corpus, or import legacy dirs with "
+              f"'migrate')", file=sys.stderr)
+        return 2
+    try:
+        since = _parse_since(args.since) if args.since is not None else None
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with FindingsDB(args.db_path) as db:
+        rows = db.query_buckets(kind=args.kind, compiler=args.compiler,
+                                bucket=args.bucket, since=since,
+                                campaign=args.campaign)
+        if args.programs:
+            for row in rows:
+                row["programs"] = db.bucket_digests(row["id"])
+        counts = db.summary()
+    if args.as_json:
+        print(json.dumps({"buckets": rows, "summary": counts}, indent=2))
+        return 0
+    if not rows:
+        print("no matching buckets")
+    else:
+        from repro.utils.text import format_table
+        headers = ["Bucket", "Kind", "Sanitizer", "Pass", "Hits",
+                   "Campaigns", "First seen", "Last seen", "Reduced"]
+        table = []
+        for row in rows:
+            table.append([row["slug"], row["kind"], row["sanitizer"] or "-",
+                          row["responsible_pass"] or "-", row["count"],
+                          row["campaigns"], _stamp(row["first_seen_at"]),
+                          _stamp(row["last_seen_at"]),
+                          "yes" if row["reduced"] else "-"])
+        print(format_table(headers, table))
+        if args.programs:
+            for row in rows:
+                digests = ", ".join(d[:12] for d in row["programs"])
+                print(f"  {row['slug']}: {digests}")
+    print(f"database: {counts['buckets']} buckets, {counts['hits']} hits, "
+          f"{counts['programs']} programs, {counts['outcomes']} outcomes, "
+          f"{counts['reductions']} reductions across "
+          f"{counts['campaigns']} campaigns")
+    return 0
+
+
+def _migrate_main(argv: List[str]) -> int:
+    """The ``migrate`` subcommand: import legacy flat campaign dirs."""
+    from repro.corpusdb import FindingsDB, migrate_campaign_dir
+    args = build_migrate_parser().parse_args(argv)
+    reports = []
+    with FindingsDB(args.db_path) as db:
+        for campaign_dir in args.campaign_dirs:
+            try:
+                report = migrate_campaign_dir(db, campaign_dir)
+            except FileNotFoundError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    ValueError) as exc:
+                print(f"error: corpus index under {campaign_dir!r} is "
+                      f"unreadable ({exc})", file=sys.stderr)
+                return 2
+            reports.append(report)
+        counts = db.summary()
+    if args.as_json:
+        print(json.dumps({"migrated": reports, "summary": counts}, indent=2))
+        return 0
+    for report in reports:
+        missing = (f", {report['missing_sources']} missing source(s) skipped"
+                   if report.get("missing_sources") else "")
+        print(f"migrated {report['campaign_dir']} as campaign "
+              f"{report['campaign_key']}: {report['programs']} programs, "
+              f"{report['buckets']} buckets, "
+              f"{report['reductions']} reductions{missing}")
+    print(f"database: {counts['buckets']} buckets, {counts['hits']} hits, "
+          f"{counts['programs']} programs, {counts['outcomes']} outcomes, "
+          f"{counts['reductions']} reductions across "
+          f"{counts['campaigns']} campaigns")
     return 0
 
 

@@ -1,12 +1,28 @@
 """Persistent corpus store and crash-deduplication index.
 
 Long campaigns produce far more UB programs and raw discrepancies than
-distinct bugs.  The corpus store keeps every tested program (optionally
-persisted to disk as ``.c`` sources plus a JSON index) and buckets every
-FN-bug candidate by ``(UB type, crash site, sanitizer)`` — the same
+distinct bugs.  The corpus store keeps every tested program and buckets
+every FN-bug candidate by ``(UB type, crash site, sanitizer)`` — the same
 signature the paper's authors used to avoid re-triaging duplicates: two
 candidates whose UB, mapped crash location and missing sanitizer all agree
 almost always share a root cause.
+
+Since the corpus-database refactor the store is a façade over
+:class:`repro.corpusdb.FindingsDB`: programs (zlib-compressed,
+content-addressed), buckets, surveyed outcome cells and reductions all
+land in SQLite (``<root>/corpus.sqlite`` by default, or a shared
+``db_path``), while the in-memory mirrors keep the original dict API that
+the campaign, reduction wiring and tests consume.  ``flush()`` commits
+only the *delta* accumulated since the previous flush — one ``BEGIN
+IMMEDIATE`` transaction whose cost scales with new work, never with
+corpus size — and ``finalize()`` writes the human-readable ``corpus.json``
+summary once at the end of a run.  A legacy flat-JSON campaign directory
+is migrated into the database transparently on first open.
+
+Because the database outlives any one campaign, the store also answers
+the cross-campaign question at ingestion time: a bucket whose signature
+was first recorded by an *earlier* campaign is flagged as a recurrence
+(``CrashBucket.first_seen``) instead of presenting as a new finding.
 
 The store is an *observability* layer: it never influences which bugs the
 campaign reports (that stays with the triager, so parallel and serial runs
@@ -16,7 +32,6 @@ without replaying the campaign.
 
 from __future__ import annotations
 
-import json
 import logging
 import os
 from dataclasses import dataclass, field
@@ -24,6 +39,13 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.crash_site import format_crash_site
 from repro.core.fuzzer import SeedBatch
+from repro.corpusdb import (
+    CRASH_KIND,
+    FindingsDB,
+    crash_signature,
+    migrate_campaign_dir,
+    program_digest,
+)
 from repro.utils.io import atomic_write_json
 
 logger = logging.getLogger(__name__)
@@ -54,6 +76,11 @@ def bucket_slug(key: BucketKey) -> str:
     return f"{ub_type}-{site}-{sanitizer}"
 
 
+def signature_for(key: BucketKey) -> str:
+    """The database signature of one crash bucket key."""
+    return crash_signature(*key)
+
+
 @dataclass
 class CrashBucket:
     """All FN-bug candidates sharing one (UB type, crash site, sanitizer)."""
@@ -68,6 +95,11 @@ class CrashBucket:
     #: evaluations, wall-clock) once the bucket's representative program has
     #: been shrunk to a minimal reproducer.
     reduction: Optional[dict] = None
+    #: Cross-campaign provenance: ``{"campaign": key, "at": timestamp}`` of
+    #: the campaign that first recorded this signature, set when the bucket
+    #: is a *recurrence* (first seen by an earlier campaign in the shared
+    #: findings database); ``None`` for buckets this campaign opened.
+    first_seen: Optional[dict] = None
 
     @property
     def key(self) -> BucketKey:
@@ -78,12 +110,19 @@ class CrashBucket:
         """Filesystem-safe bucket name (see :func:`bucket_slug`)."""
         return bucket_slug(self.key)
 
+    @property
+    def recurrence(self) -> bool:
+        """True when an earlier campaign already recorded this signature."""
+        return self.first_seen is not None
+
     def to_json(self) -> dict:
         record = {"ub_type": self.ub_type, "crash_site": self.crash_site,
                   "sanitizer": self.sanitizer, "count": self.count,
                   "program_ids": self.program_ids, "configs": self.configs}
         if self.reduction is not None:
             record["reduction"] = self.reduction
+        if self.first_seen is not None:
+            record["first_seen"] = self.first_seen
         return record
 
     @staticmethod
@@ -94,22 +133,37 @@ class CrashBucket:
                            count=record["count"],
                            program_ids=list(record["program_ids"]),
                            configs=list(record["configs"]),
-                           reduction=record.get("reduction"))
+                           reduction=record.get("reduction"),
+                           first_seen=record.get("first_seen"))
+
+
+def _outcome_status(outcome) -> str:
+    """Classify one per-config outcome for its database cell."""
+    if outcome.error is not None:
+        return "compile-error"
+    if outcome.result is None:
+        return "error"
+    return "detected" if outcome.detected else "silent"
 
 
 class CorpusStore:
     """Stores tested programs and deduplicates their crashes.
 
-    With ``root=None`` everything lives in memory; with a directory, program
-    sources land under ``<root>/programs/`` and the index (programs + crash
-    buckets) in ``<root>/corpus.json``.  ``ingest`` is idempotent per seed
-    index, so re-running a resumed campaign over already-recorded seeds
-    cannot double-count.
+    With ``root=None`` everything lives in an in-memory database; with a
+    directory, program sources land under ``<root>/programs/``, the
+    findings database at ``<root>/corpus.sqlite`` (or the shared
+    ``db_path``, letting many campaigns accumulate into one file) and a
+    summary index in ``<root>/corpus.json`` on :meth:`finalize`.
+    ``ingest`` is idempotent per seed index, so re-running a resumed
+    campaign over already-recorded seeds cannot double-count.
     """
 
     INDEX_NAME = "corpus.json"
+    DB_NAME = "corpus.sqlite"
 
-    def __init__(self, root: Optional[str] = None) -> None:
+    def __init__(self, root: Optional[str] = None,
+                 db_path: Optional[str] = None,
+                 campaign_key: Optional[str] = None) -> None:
         self.root = str(root) if root is not None else None
         self.programs: Dict[str, dict] = {}
         self.buckets: Dict[BucketKey, CrashBucket] = {}
@@ -118,8 +172,36 @@ class CorpusStore:
         #: corpus (deterministic metric totals + cache counters); written
         #: into the index by the orchestrator at the end of a traced run.
         self.telemetry: Optional[dict] = None
-        if self.root is not None and os.path.exists(self._index_path()):
-            self._load()
+        #: Buckets this campaign opened that no earlier campaign in the
+        #: shared database had recorded / had already recorded.
+        self.new_global_buckets = 0
+        self.recurrent_buckets = 0
+        #: Rows the most recent :meth:`flush` wrote — the figure the
+        #: flush-cost benchmark gates on (O(delta), never O(corpus)).
+        self.last_flush_ops = 0
+        self._pending_seeds: List[int] = []
+        self._pending_programs: List[dict] = []
+        self._pending_hits: List[dict] = []
+        self._pending_outcomes: List[dict] = []
+        self._pending_reductions: List[dict] = []
+        if db_path is None:
+            db_path = (os.path.join(self.root, self.DB_NAME)
+                       if self.root is not None else ":memory:")
+        self.db_path = str(db_path)
+        self.campaign_key = campaign_key or (
+            os.path.abspath(self.root) if self.root is not None else "<memory>")
+        self.db = FindingsDB(self.db_path)
+        if (self.root is not None and os.path.exists(self._index_path())
+                and self.db.campaign_id(self.campaign_key) is None):
+            # A pre-database flat campaign directory: import it once, then
+            # serve every later open from the database.
+            migrate_campaign_dir(self.db, self.root, key=self.campaign_key)
+        self.campaign_id = self.db.open_campaign(self.campaign_key,
+                                                 root=self.root)
+        self._load_from_db()
+
+    def close(self) -> None:
+        self.db.close()
 
     # -- ingestion -------------------------------------------------------------
 
@@ -128,9 +210,12 @@ class CorpusStore:
         if batch.seed_index in self._ingested_seeds:
             return 0
         self._ingested_seeds.add(batch.seed_index)
+        self._pending_seeds.append(batch.seed_index)
         new_buckets = 0
         for position, diff in enumerate(batch.diff_results):
             program_id = f"s{batch.seed_index:05d}-p{position:03d}"
+            source = diff.program.source
+            digest = program_digest(source)
             self.programs[program_id] = {
                 "seed_index": batch.seed_index,
                 "position": position,
@@ -140,11 +225,47 @@ class CorpusStore:
                 "wrong_reports": len(diff.wrong_report_candidates),
             }
             if self.root is not None:
-                self._write_program(program_id, diff.program.source)
+                self._write_program(program_id, source)
+            self._pending_programs.append({
+                "program_id": program_id,
+                "seed_index": batch.seed_index,
+                "position": position,
+                "source": source,
+                "ub_type": diff.program.ub_type.value,
+                "generator": diff.program.generator,
+                "fn_candidates": len(diff.fn_candidates),
+                "wrong_reports": len(diff.wrong_report_candidates),
+            })
+            # Every surveyed (program, config) cell becomes an outcome row —
+            # the unit --resurvey skips on the next campaign.  Restored thin
+            # batches have no outcomes (their cells were recorded when the
+            # seed originally ran).
+            for outcome in diff.outcomes:
+                config = outcome.config
+                self._pending_outcomes.append({
+                    "program_digest": digest,
+                    "compiler": config.compiler,
+                    "version": "",
+                    "pipeline": config.opt_level,
+                    "sanitizer": config.sanitizer,
+                    "status": _outcome_status(outcome),
+                    "detail": outcome.error or "",
+                })
             for candidate in diff.fn_candidates:
-                if self._add_crash(program_id, bucket_key_for(candidate),
-                                   candidate.missing.config):
+                key = bucket_key_for(candidate)
+                if self._add_crash(program_id, key, candidate.missing.config):
                     new_buckets += 1
+                self._pending_hits.append({
+                    "kind": CRASH_KIND,
+                    "signature": signature_for(key),
+                    "subject": key[0],
+                    "crash_site": key[1],
+                    "sanitizer": key[2],
+                    "slug": bucket_slug(key),
+                    "program_id": program_id,
+                    "program_digest": digest,
+                    "config": candidate.missing.config.label,
+                })
         return new_buckets
 
     def _add_crash(self, program_id: str, key: BucketKey,
@@ -155,6 +276,11 @@ class CorpusStore:
         if bucket is None:
             bucket = CrashBucket(ub_type=ub_type, crash_site=site,
                                  sanitizer=missing_config.sanitizer)
+            bucket.first_seen = self._earlier_sighting(key)
+            if bucket.first_seen is None:
+                self.new_global_buckets += 1
+            else:
+                self.recurrent_buckets += 1
             self.buckets[key] = bucket
         bucket.count += 1
         if program_id not in bucket.program_ids:
@@ -164,6 +290,15 @@ class CorpusStore:
             bucket.configs.append(label)
         return is_new
 
+    def _earlier_sighting(self, key: BucketKey) -> Optional[dict]:
+        """Cross-campaign dedup: did an earlier campaign record this
+        signature?  Returns its provenance, or None for a fresh bucket."""
+        row = self.db.find_bucket(CRASH_KIND, signature_for(key))
+        if row is None or row["first_campaign"] == self.campaign_id:
+            return None
+        return {"campaign": row["first_campaign_key"],
+                "at": row["first_seen_at"]}
+
     # -- reduction -------------------------------------------------------------
 
     def record_reduction(self, key: BucketKey, reduced_source: str,
@@ -172,11 +307,19 @@ class CorpusStore:
 
         Persistent stores write it as ``<root>/reduced/<bucket-slug>.c``
         next to the bucket's programs; the stats land in the bucket's index
-        record either way.  Returns the written path (None in memory)."""
+        record either way, and the reduction persists into the findings
+        database on the next flush.  Returns the written path (None in
+        memory)."""
         bucket = self.buckets.get(key)
         if bucket is None:
             raise KeyError(f"no crash bucket {key!r}")
         bucket.reduction = dict(stats or {})
+        self._pending_reductions.append({
+            "kind": CRASH_KIND,
+            "signature": signature_for(key),
+            "source": reduced_source,
+            "stats": dict(stats or {}),
+        })
         if self.root is None:
             bucket.reduction.setdefault("source", reduced_source)
             return None
@@ -199,11 +342,19 @@ class CorpusStore:
     def total_crashes(self) -> int:
         return sum(bucket.count for bucket in self.buckets.values())
 
+    def recorded_cells(self):
+        """Every surveyed (program digest, compiler, version, pipeline,
+        sanitizer) cell in the findings database — the ``--resurvey`` skip
+        set, including cells other campaigns recorded."""
+        return self.db.recorded_cells()
+
     def summary(self) -> dict:
         return {
             "programs": len(self.programs),
             "crashes": self.total_crashes,
             "unique_crashes": self.unique_crashes,
+            "new_buckets": self.new_global_buckets,
+            "recurrent_buckets": self.recurrent_buckets,
             "buckets": [bucket.to_json() for _, bucket in sorted(self.buckets.items())],
         }
 
@@ -225,7 +376,34 @@ class CorpusStore:
             handle.write(source)
 
     def flush(self) -> None:
-        """Write the JSON index (no-op for in-memory stores)."""
+        """Commit the delta accumulated since the last flush.
+
+        One ``BEGIN IMMEDIATE`` transaction whose row count scales with the
+        new seeds/programs/hits since the previous flush — never with how
+        big the corpus already is."""
+        self.last_flush_ops = self.db.ingest_delta(
+            self.campaign_id,
+            seeds=self._pending_seeds,
+            programs=self._pending_programs,
+            hits=self._pending_hits,
+            outcomes=self._pending_outcomes,
+            reductions=self._pending_reductions)
+        if self.last_flush_ops:
+            logger.debug("flushed corpus delta to %s (%d rows)",
+                         self.db_path, self.last_flush_ops)
+        self._pending_seeds = []
+        self._pending_programs = []
+        self._pending_hits = []
+        self._pending_outcomes = []
+        self._pending_reductions = []
+
+    def finalize(self) -> None:
+        """Flush, then write the human-readable ``corpus.json`` summary.
+
+        Called once at the end of a campaign (cheap relative to the run);
+        the JSON index is a convenience view — the database is the source
+        of truth."""
+        self.flush()
         if self.root is None:
             return
         index = {
@@ -235,17 +413,55 @@ class CorpusStore:
         }
         if self.telemetry is not None:
             index["telemetry"] = self.telemetry
-        logger.debug("flushing corpus index %s (%d programs, %d buckets)",
+        logger.debug("writing corpus index %s (%d programs, %d buckets)",
                      self._index_path(), len(self.programs), len(self.buckets))
         atomic_write_json(self._index_path(), index)
 
-    def _load(self) -> None:
-        with open(self._index_path(), "r", encoding="utf-8") as handle:
-            index = json.load(handle)
-        self.programs = dict(index.get("programs", {}))
-        self._ingested_seeds = set(index.get("ingested_seeds", []))
-        self.telemetry = index.get("telemetry")
-        self.buckets = {}
-        for record in index.get("buckets", []):
-            bucket = CrashBucket.from_json(record)
-            self.buckets[bucket.key] = bucket
+    def _load_from_db(self) -> None:
+        """Rebuild the in-memory mirrors from this campaign's database rows."""
+        for row in self.db.campaign_programs(self.campaign_id):
+            self.programs[row["program_id"]] = {
+                "seed_index": row["seed_index"],
+                "position": row["position"],
+                "ub_type": row["ub_type"],
+                "generator": row["generator"],
+                "fn_candidates": row["fn_candidates"],
+                "wrong_reports": row["wrong_reports"],
+            }
+        self._ingested_seeds = set(self.db.ingested_seeds(self.campaign_id))
+        counts = self._campaign_bucket_counts()
+        for hit in self.db.campaign_hits(self.campaign_id):
+            if hit["kind"] != CRASH_KIND:
+                continue
+            key = (hit["subject"], hit["crash_site"], hit["sanitizer"])
+            bucket = self.buckets.get(key)
+            if bucket is None:
+                bucket = CrashBucket(ub_type=key[0], crash_site=key[1],
+                                     sanitizer=key[2],
+                                     count=counts.get(hit["bucket_id"], 0))
+                if hit["first_campaign"] != self.campaign_id:
+                    row = self.db.find_bucket(CRASH_KIND, hit["signature"])
+                    bucket.first_seen = {
+                        "campaign": row["first_campaign_key"],
+                        "at": row["first_seen_at"]}
+                self.buckets[key] = bucket
+            if hit["program_id"] and hit["program_id"] not in bucket.program_ids:
+                bucket.program_ids.append(hit["program_id"])
+            if hit["config"] and hit["config"] not in bucket.configs:
+                bucket.configs.append(hit["config"])
+        for key, bucket in self.buckets.items():
+            stored = self.db.reduction_for(CRASH_KIND, signature_for(key))
+            if stored is None:
+                continue
+            bucket.reduction = dict(stored["stats"])
+            if self.root is not None:
+                bucket.reduction.setdefault(
+                    "path", os.path.join("reduced", bucket.slug + ".c"))
+            else:
+                bucket.reduction.setdefault("source", stored["source"])
+
+    def _campaign_bucket_counts(self) -> Dict[int, int]:
+        rows = self.db.connection.execute(
+            "SELECT bucket_id, hits FROM corpus_bucket_campaigns "
+            "WHERE campaign_id = ?", (self.campaign_id,))
+        return {row["bucket_id"]: row["hits"] for row in rows}

@@ -32,8 +32,12 @@ class Executor:
     kind is selected by :func:`repro.orchestrator.worker.campaign_for_config`.
     """
 
-    def map_seeds(self, config,
-                  seed_indices: Sequence[int]) -> Iterator[SeedBatch]:
+    def map_seeds(self, config, seed_indices: Sequence[int],
+                  survey_skip: frozenset = frozenset()) -> Iterator[SeedBatch]:
+        """Yield one batch per seed index, in order.
+
+        *survey_skip* (``--resurvey``) holds already-recorded outcome cells
+        to skip; fuzzing campaigns receive it, marker campaigns ignore it."""
         raise NotImplementedError
 
     @property
@@ -48,9 +52,11 @@ class SerialExecutor(Executor):
     campaign this one produces for the same config.
     """
 
-    def map_seeds(self, config,
-                  seed_indices: Sequence[int]) -> Iterator[SeedBatch]:
+    def map_seeds(self, config, seed_indices: Sequence[int],
+                  survey_skip: frozenset = frozenset()) -> Iterator[SeedBatch]:
         campaign = campaign_for_config(config)
+        if survey_skip and hasattr(campaign, "survey_skip"):
+            campaign.survey_skip = frozenset(survey_skip)
         for seed_index in seed_indices:
             yield campaign.run_seed(seed_index)
 
@@ -80,8 +86,8 @@ class PoolExecutor(Executor):
     def workers(self) -> int:
         return self._workers
 
-    def map_seeds(self, config,
-                  seed_indices: Sequence[int]) -> Iterator[SeedBatch]:
+    def map_seeds(self, config, seed_indices: Sequence[int],
+                  survey_skip: frozenset = frozenset()) -> Iterator[SeedBatch]:
         seed_indices = list(seed_indices)
         if not seed_indices:
             return
@@ -93,7 +99,8 @@ class PoolExecutor(Executor):
         # batch payloads.
         pool = self._context.Pool(processes=processes,
                                   initializer=initialize_worker,
-                                  initargs=(config, telemetry.worker_flags()))
+                                  initargs=(config, telemetry.worker_flags(),
+                                            survey_skip))
         try:
             for batch in pool.imap(run_seed_in_worker, seed_indices, chunksize=1):
                 yield batch

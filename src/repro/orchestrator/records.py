@@ -148,6 +148,8 @@ def batch_to_record(batch: SeedBatch) -> dict:
         "duration_seconds": batch.duration_seconds,
         "programs_generated": {ub.value: count
                                for ub, count in batch.programs_generated.items()},
+        "surveyed_cells": batch.surveyed_cells,
+        "skipped_cells": batch.skipped_cells,
         "diffs": diffs,
     }
 
@@ -213,4 +215,8 @@ def batch_from_record(record: dict) -> SeedBatch:
                      generated=record["generated"],
                      programs_generated=programs_generated,
                      diff_results=diff_results,
-                     duration_seconds=record["duration_seconds"])
+                     duration_seconds=record["duration_seconds"],
+                     # .get: records written before the resurvey fields
+                     # existed load as plain full surveys.
+                     surveyed_cells=record.get("surveyed_cells", 0),
+                     skipped_cells=record.get("skipped_cells", 0))

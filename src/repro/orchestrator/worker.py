@@ -44,7 +44,8 @@ def campaign_for_config(config):
 _WORKER_CAMPAIGN = None
 
 
-def initialize_worker(config, telemetry_flags: Optional[dict] = None) -> None:
+def initialize_worker(config, telemetry_flags: Optional[dict] = None,
+                      survey_skip=None) -> None:
     """Pool initializer: build this process's campaign once.
 
     *telemetry_flags* (from :func:`repro.telemetry.runtime.worker_flags`)
@@ -52,10 +53,16 @@ def initialize_worker(config, telemetry_flags: Optional[dict] = None) -> None:
     across ``fork`` is dropped first — a worker must never write to (or
     close) the parent's trace file; its spans buffer in per-seed scopes and
     travel back to the parent inside the batch payload.
+
+    *survey_skip* (``--resurvey``) is the set of already-recorded outcome
+    cells; it travels by value like the telemetry flags so every worker
+    skips the identical cells — sharding stays deterministic.
     """
     global _WORKER_CAMPAIGN
     telemetry.enable_from_flags(telemetry_flags)
     _WORKER_CAMPAIGN = campaign_for_config(config)
+    if survey_skip and isinstance(_WORKER_CAMPAIGN, FuzzingCampaign):
+        _WORKER_CAMPAIGN.survey_skip = frozenset(survey_skip)
 
 
 def run_seed_in_worker(seed_index: int):

@@ -164,15 +164,13 @@ class TelemetryStore:
 
     def __init__(self, path: str) -> None:
         self.path = str(path)
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        self._conn = sqlite3.connect(self.path)
-        self._conn.row_factory = sqlite3.Row
-        # WAL lets `watch`-style readers coexist with a writer; NORMAL sync
-        # is durable enough for telemetry (a torn last txn loses one run).
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.execute("PRAGMA foreign_keys=ON")
+        # The shared connection helper (WAL, NORMAL sync, busy timeout)
+        # lets one database file host both the telemetry tables and the
+        # corpusdb findings tables without the two writers starving each
+        # other; the table namespaces (corpus_* vs. runs/spans/...) are
+        # disjoint by construction.
+        from repro.corpusdb.connection import connect
+        self._conn = connect(self.path)
         with self._conn:
             self._conn.executescript(SCHEMA)
             if self._user_version() == 0:

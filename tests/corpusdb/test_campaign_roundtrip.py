@@ -1,0 +1,228 @@
+"""End-to-end findings-database behavior over real (small) campaigns:
+checkpoint/resume query equivalence, serial vs parallel DB identity,
+incremental resurvey, and the query/migrate CLI round-trip."""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.core import CampaignConfig
+from repro.corpusdb import CRASH_KIND, FindingsDB
+from repro.orchestrator import CorpusStore, OrchestratedCampaign
+from repro.orchestrator.cli import main as cli_main
+
+MODULE_SCALE = dict(num_seeds=3, rng_seed=5, max_programs_per_type=1,
+                    opt_levels=("-O0", "-O2"))
+
+#: Columns that legitimately differ between equivalent runs: row ids,
+#: wall-clock stamps, and campaign identities (the corpus directory path).
+VOLATILE = frozenset({"id", "first_seen_at", "last_seen_at",
+                      "first_campaign_key", "last_campaign_key"})
+
+
+def _config() -> CampaignConfig:
+    return CampaignConfig(**MODULE_SCALE)
+
+
+def _normalized_buckets(db_path: str, **filters) -> bytes:
+    """The query result set as canonical bytes, volatile columns dropped —
+    'byte-identical' comparisons between equivalent campaigns."""
+    with FindingsDB(db_path) as db:
+        rows = db.query_buckets(**filters)
+    rows = [{key: value for key, value in row.items() if key not in VOLATILE}
+            for row in rows]
+    rows.sort(key=lambda row: (row["kind"], row["signature"]))
+    return json.dumps(rows, sort_keys=True).encode("utf-8")
+
+
+def _normalized_outcomes(db_path: str) -> bytes:
+    with FindingsDB(db_path) as db:
+        rows = db.connection.execute(
+            "SELECT program_digest, compiler, version, pipeline, sanitizer, "
+            "status FROM corpus_outcomes "
+            "ORDER BY program_digest, compiler, version, pipeline, sanitizer")
+        return json.dumps([dict(row) for row in rows]).encode("utf-8")
+
+
+@pytest.fixture(scope="module")
+def baseline_dir(tmp_path_factory) -> str:
+    """One uninterrupted serial campaign with a persistent corpus DB."""
+    corpus_dir = str(tmp_path_factory.mktemp("baseline") / "corpus")
+    OrchestratedCampaign(_config(), corpus=corpus_dir).run()
+    return corpus_dir
+
+
+def _db(corpus_dir: str) -> str:
+    return os.path.join(corpus_dir, CorpusStore.DB_NAME)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint/resume equivalence (crash mode)
+# ---------------------------------------------------------------------------
+
+def test_killed_and_resumed_campaign_yields_identical_query_set(
+        tmp_path, baseline_dir):
+    """The satellite acceptance test: kill after every seed, resume, and the
+    final ``query`` result set is byte-identical to the uninterrupted run."""
+    checkpoint = str(tmp_path / "campaign.json")
+    corpus_dir = str(tmp_path / "corpus")
+    sessions = 0
+    while True:
+        campaign = OrchestratedCampaign(_config(), checkpoint_path=checkpoint,
+                                        corpus=corpus_dir,
+                                        max_seeds_per_session=1)
+        result = campaign.run()
+        sessions += 1
+        if result.stats.seeds_used == MODULE_SCALE["num_seeds"]:
+            break
+        assert sessions <= MODULE_SCALE["num_seeds"]
+    assert sessions == MODULE_SCALE["num_seeds"]
+    assert _normalized_buckets(_db(corpus_dir)) == \
+        _normalized_buckets(_db(baseline_dir))
+    assert _normalized_outcomes(_db(corpus_dir)) == \
+        _normalized_outcomes(_db(baseline_dir))
+
+
+def test_serial_and_parallel_produce_identical_databases(
+        tmp_path, baseline_dir):
+    corpus_dir = str(tmp_path / "corpus")
+    OrchestratedCampaign(_config(), workers=2, corpus=corpus_dir).run()
+    assert _normalized_buckets(_db(corpus_dir)) == \
+        _normalized_buckets(_db(baseline_dir))
+    assert _normalized_outcomes(_db(corpus_dir)) == \
+        _normalized_outcomes(_db(baseline_dir))
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint/resume equivalence (marker mode)
+# ---------------------------------------------------------------------------
+
+def test_marker_reingest_yields_identical_query_set(tmp_path):
+    """Marker campaigns have no checkpoint; their resume story is the
+    idempotent re-ingest — applying a result twice equals applying once."""
+    from repro.markers.engine import MarkerCampaignConfig, MarkerEngine
+    config = MarkerCampaignConfig(num_seeds=2, rng_seed=5)
+    result = MarkerEngine(config).run()
+    once, twice = str(tmp_path / "once.sqlite"), str(tmp_path / "twice.sqlite")
+    with FindingsDB(once) as db:
+        db.ingest_marker_result("markers-x", result)
+    with FindingsDB(twice) as db:
+        db.ingest_marker_result("markers-x", result)
+        db.ingest_marker_result("markers-x", result)
+    assert _normalized_buckets(once) == _normalized_buckets(twice)
+    assert _normalized_outcomes(once) == _normalized_outcomes(twice)
+
+
+# ---------------------------------------------------------------------------
+# Cross-campaign dedup and resurvey
+# ---------------------------------------------------------------------------
+
+def test_second_campaign_reports_recurrences_and_resurvey_skips(
+        tmp_path, baseline_dir):
+    shared = str(tmp_path / "shared.sqlite")
+    first_dir = str(tmp_path / "first")
+    first = OrchestratedCampaign(_config(), corpus=CorpusStore(
+        root=first_dir, db_path=shared))
+    first.run()
+    with FindingsDB(shared) as db:
+        recorded = len(db.recorded_cells())
+    assert recorded > 0
+
+    # Second overlapping campaign, no resurvey: every bucket recurs.
+    second_dir = str(tmp_path / "second")
+    second = OrchestratedCampaign(_config(), corpus=CorpusStore(
+        root=second_dir, db_path=shared))
+    second.run()
+    assert second.corpus.new_global_buckets == 0
+    assert second.corpus.recurrent_buckets > 0
+    for bucket in second.corpus.buckets.values():
+        assert bucket.recurrence
+        assert bucket.first_seen["campaign"] == os.path.abspath(first_dir)
+
+    # Third campaign with resurvey: >=90% of cells skipped (here: all),
+    # and the surviving result set is bit-identical (nothing new appears).
+    before = _normalized_buckets(shared)
+    third = OrchestratedCampaign(_config(), corpus=CorpusStore(
+        root=str(tmp_path / "third"), db_path=shared), resurvey=True)
+    third.run()
+    total = third.surveyed_cells + third.skipped_cells
+    assert total == recorded
+    assert third.skipped_cells / total >= 0.9
+    assert third.surveyed_cells == 0
+    assert _normalized_buckets(shared) == before
+
+
+# ---------------------------------------------------------------------------
+# Query / migrate CLI round-trip
+# ---------------------------------------------------------------------------
+
+def _legacy_copy(baseline_dir: str, destination: str) -> str:
+    """A flat pre-database campaign dir: corpus.json + programs/, no sqlite."""
+    shutil.copytree(baseline_dir, destination)
+    os.remove(os.path.join(destination, CorpusStore.DB_NAME))
+    return destination
+
+
+def test_migrate_then_query_round_trip(tmp_path, baseline_dir, capsys):
+    legacy = _legacy_copy(baseline_dir, str(tmp_path / "legacy"))
+    db_path = str(tmp_path / "findings.sqlite")
+    assert cli_main(["migrate", legacy, "--db", db_path, "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["migrated"][0]["buckets"] > 0
+    assert report["summary"]["programs"] > 0
+
+    # Re-migrating is idempotent.
+    assert cli_main(["migrate", legacy, "--db", db_path, "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["summary"] == report["summary"]
+
+    # The migrated corpus answers the same filters as the live database.
+    with FindingsDB(_db(baseline_dir)) as db:
+        [live] = db.query_buckets(bucket="integer-overflow-19_42")
+    assert cli_main(["query", "--db", db_path,
+                     "--bucket", "integer-overflow-19_42", "--json"]) == 0
+    [migrated] = json.loads(capsys.readouterr().out)["buckets"]
+    assert migrated["slug"] == live["slug"]
+    assert migrated["count"] == live["count"]
+
+    assert cli_main(["query", "--db", db_path, "--kind", CRASH_KIND,
+                     "--compiler", "gcc", "--since", "2000-01-01"]) == 0
+    out = capsys.readouterr().out
+    assert "gcc" in out or "Bucket" in out
+    assert "database:" in out
+
+
+def test_migrated_legacy_dir_resumes_as_the_same_campaign(
+        tmp_path, baseline_dir):
+    """Opening a CorpusStore over a legacy dir auto-migrates, preserving
+    bucket counts (not the cross-product hit inflation)."""
+    legacy = _legacy_copy(baseline_dir, str(tmp_path / "legacy"))
+    index = json.load(open(os.path.join(legacy, "corpus.json")))
+    store = CorpusStore(root=legacy)
+    assert len(store.programs) == len(index["programs"])
+    assert store.total_crashes == sum(bucket["count"]
+                                      for bucket in index["buckets"])
+    assert len(store.buckets) == len(index["buckets"])
+    store.close()
+
+
+def test_query_cli_error_paths(tmp_path, capsys):
+    missing = str(tmp_path / "missing.sqlite")
+    assert cli_main(["query", "--db", missing]) == 2
+    assert "does not exist" in capsys.readouterr().err
+    db_path = str(tmp_path / "empty.sqlite")
+    FindingsDB(db_path).close()
+    assert cli_main(["query", "--db", db_path, "--since", "not-a-date"]) == 2
+    assert "--since" in capsys.readouterr().err
+    assert cli_main(["query", "--db", db_path]) == 0
+    assert "no matching buckets" in capsys.readouterr().out
+    assert cli_main(["migrate", str(tmp_path / "nope"), "--db", db_path]) == 2
+    assert "corpus.json" in capsys.readouterr().err
+
+
+def test_resurvey_cli_requires_corpus(capsys):
+    assert cli_main(["--seeds", "1", "--resurvey", "--quiet"]) == 2
+    assert "--corpus" in capsys.readouterr().err
