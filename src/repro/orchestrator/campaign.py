@@ -315,7 +315,7 @@ class OrchestratedCampaign:
             for bucket in result.buckets.values():
                 reduced, reduction = reduce_marker_finding(
                     bucket.representative, cache=engine.oracle.cache,
-                    jobs=self.reduce_jobs)
+                    jobs=self.reduce_jobs, vm=self.config.vm)
                 record = marker_record_for(reduced, reduction)
                 bucket.representative = reduced
                 self.reductions.append(record)

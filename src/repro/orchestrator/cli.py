@@ -72,6 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stop after this many UB programs overall")
     parser.add_argument("--no-triage", action="store_true",
                         help="skip defect triage (candidates only, faster)")
+    parser.add_argument("--vm", choices=("compiled", "interp"),
+                        default="compiled",
+                        help="VM executor: closure-compiled bytecode with "
+                             "batched deduplication (compiled, the default) "
+                             "or the AST-walking interpreter (interp); "
+                             "results are bit-identical")
     parser.add_argument("--reduce", action="store_true",
                         help="reduce one representative crash per dedup "
                              "bucket to a minimal reproducer (written to "
@@ -339,7 +345,8 @@ def config_from_args(args: argparse.Namespace):
             rng_seed=args.rng_seed,
             compilers=compilers,
             opt_levels=opt_levels,
-            versions=versions)
+            versions=versions,
+            vm=args.vm)
     return CampaignConfig(
         num_seeds=args.seeds,
         rng_seed=args.rng_seed,
@@ -348,7 +355,8 @@ def config_from_args(args: argparse.Namespace):
         compilers=compilers,
         max_programs_per_type=args.max_programs_per_type,
         max_programs_total=args.max_programs_total,
-        triage=not args.no_triage)
+        triage=not args.no_triage,
+        vm=args.vm)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

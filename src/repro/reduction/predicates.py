@@ -42,7 +42,8 @@ Predicate = Callable[[str], bool]
 
 def make_fn_bug_predicate(program: UBProgram, detecting: TestConfig,
                           missing: TestConfig,
-                          tester: Optional[DifferentialTester] = None) -> Predicate:
+                          tester: Optional[DifferentialTester] = None,
+                          vm: str = "compiled") -> Predicate:
     """Build the pairwise "still triggers this FN bug" predicate.
 
     Args:
@@ -52,8 +53,10 @@ def make_fn_bug_predicate(program: UBProgram, detecting: TestConfig,
         tester: optional shared tester; by default a fresh one (with its own
             compilation cache) is built, which is also what each pool worker
             does when the predicate is constructed through a factory.
+        vm: executor for the default-built tester (a provided *tester*
+            keeps its own ``vm``).
     """
-    tester = tester or DifferentialTester()
+    tester = tester or DifferentialTester(vm=vm)
 
     def predicate(source: str) -> bool:
         candidate = UBProgram(source=source, ub_type=program.ub_type,
@@ -77,11 +80,11 @@ def make_fn_bug_predicate(program: UBProgram, detecting: TestConfig,
 
 
 def make_fn_bug_predicate_factory(program: UBProgram, detecting: TestConfig,
-                                  missing: TestConfig):
+                                  missing: TestConfig, vm: str = "compiled"):
     """A factory for :func:`make_fn_bug_predicate` suitable for ``jobs > 1``:
     every worker builds its own tester and compilation cache."""
     def factory() -> Predicate:
-        return make_fn_bug_predicate(program, detecting, missing)
+        return make_fn_bug_predicate(program, detecting, missing, vm=vm)
     return factory
 
 
@@ -105,11 +108,13 @@ def bug_signature(candidate: FNBugCandidate) -> BugSignature:
 def make_signature_predicate(program: UBProgram,
                              signature: BugSignature,
                              configs: Optional[Sequence[TestConfig]] = None,
-                             tester: Optional[DifferentialTester] = None) -> Predicate:
+                             tester: Optional[DifferentialTester] = None,
+                             vm: str = "compiled") -> Predicate:
     """Build the full-matrix predicate: the candidate must reproduce
     *signature* when differentially tested across *configs* (default: every
-    configuration relevant to the program's UB type)."""
-    tester = tester or DifferentialTester()
+    configuration relevant to the program's UB type).  *vm* selects the
+    executor of the default-built tester."""
+    tester = tester or DifferentialTester(vm=vm)
     if configs is None:
         configs = default_configs(program.ub_type,
                                   compilers=tuple(tester.compilers),
@@ -159,7 +164,8 @@ class ReductionRecord:
 
 def reduce_fn_candidate(candidate: FNBugCandidate,
                         tester: Optional[DifferentialTester] = None,
-                        jobs: int = 1, max_rounds: int = 8
+                        jobs: int = 1, max_rounds: int = 8,
+                        vm: str = "compiled"
                         ) -> Tuple[FNBugCandidate, ReductionResult]:
     """Reduce one FN-bug candidate's program to a minimal reproducer.
 
@@ -171,12 +177,13 @@ def reduce_fn_candidate(candidate: FNBugCandidate,
     program = candidate.program
     detecting = candidate.detecting.config
     missing = candidate.missing.config
-    tester = tester or DifferentialTester()
+    tester = tester or DifferentialTester(vm=vm)
     reducer = HierarchicalReducer(
         predicate=make_fn_bug_predicate(program, detecting, missing,
                                         tester=tester),
         predicate_factory=make_fn_bug_predicate_factory(program, detecting,
-                                                        missing),
+                                                        missing,
+                                                        vm=tester.vm),
         jobs=jobs, max_rounds=max_rounds)
     result = reducer.reduce(program.source)
     if result.reduced_source == program.source:
@@ -221,7 +228,8 @@ def record_for(label: str, candidate: FNBugCandidate,
 # ---------------------------------------------------------------------------
 
 
-def make_marker_predicate(finding, cache=None, max_steps=None) -> Predicate:
+def make_marker_predicate(finding, cache=None, max_steps=None,
+                          vm: str = "compiled") -> Predicate:
     """Build the "still exhibits this marker finding" predicate.
 
     The candidate source (an already-instrumented program — reduction never
@@ -241,7 +249,7 @@ def make_marker_predicate(finding, cache=None, max_steps=None) -> Predicate:
     from repro.markers.instrument import MarkedProgram, marker_calls
     from repro.markers.oracle import EliminationOracle, MarkerConfig
 
-    oracle = EliminationOracle(cache=cache,
+    oracle = EliminationOracle(cache=cache, vm=vm,
                                **({} if max_steps is None
                                   else {"max_steps": max_steps}))
     target = MarkerConfig(finding.compiler, finding.version, finding.opt_level)
@@ -283,16 +291,16 @@ def make_marker_predicate(finding, cache=None, max_steps=None) -> Predicate:
     return predicate
 
 
-def make_marker_predicate_factory(finding):
+def make_marker_predicate_factory(finding, vm: str = "compiled"):
     """A factory for :func:`make_marker_predicate` suitable for ``jobs > 1``:
     every pool worker builds its own oracle and compilation cache."""
     def factory() -> Predicate:
-        return make_marker_predicate(finding)
+        return make_marker_predicate(finding, vm=vm)
     return factory
 
 
 def reduce_marker_finding(finding, cache=None, jobs: int = 1,
-                          max_rounds: int = 8):
+                          max_rounds: int = 8, vm: str = "compiled"):
     """Reduce one marker finding's program to a minimal reproducer.
 
     Returns ``(reduced_finding, ReductionResult)``; the finding is returned
@@ -302,8 +310,8 @@ def reduce_marker_finding(finding, cache=None, jobs: int = 1,
     import dataclasses
 
     reducer = HierarchicalReducer(
-        predicate=make_marker_predicate(finding, cache=cache),
-        predicate_factory=make_marker_predicate_factory(finding),
+        predicate=make_marker_predicate(finding, cache=cache, vm=vm),
+        predicate_factory=make_marker_predicate_factory(finding, vm=vm),
         jobs=jobs, max_rounds=max_rounds)
     result = reducer.reduce(finding.source)
     if result.reduced_source == finding.source:

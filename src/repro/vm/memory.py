@@ -59,9 +59,10 @@ class MemoryObject:
     data: bytearray = field(default_factory=bytearray)
     initialized: bytearray = field(default_factory=bytearray)
 
-    @property
-    def end(self) -> int:
-        return self.base + self.size
+    def __post_init__(self) -> None:
+        # Stored rather than a property: the VM hot path tests containment
+        # on every memory access, and base/size never change once placed.
+        self.end = self.base + self.size
 
     def contains(self, addr: int) -> bool:
         return self.base <= addr < self.end
@@ -86,6 +87,7 @@ class Memory:
                            "heap": _HEAP_BASE}
         self._spill: Dict[int, int] = {}
         self._poisoned: set[int] = set()
+        self._block_cache: Dict[int, MemoryObject] = {}
         self.alloc_hooks = []   # callables(MemoryObject) -> None
         self.free_hooks = []    # callables(MemoryObject) -> None
 
@@ -143,9 +145,21 @@ class Memory:
 
         Freed and dead objects are still found (``include_dead=True``)
         because use-after-free / use-after-scope detection needs them.
+
+        Containment is unique — bump allocation with guard gaps never
+        overlaps objects and never reuses addresses — and the guard gap
+        (32) exceeds the 16-byte base alignment, so each 16-byte block
+        intersects at most one object.  That makes a block-keyed cache of
+        scan results sound: a cached object is returned only after its own
+        containment (and requested liveness) re-checks.
         """
+        cached = self._block_cache.get(addr >> 4)
+        if cached is not None and cached.base <= addr < cached.end \
+                and (include_dead or cached.is_live):
+            return cached
         for obj in reversed(self.objects):
             if obj.contains(addr) and (include_dead or obj.is_live):
+                self._block_cache[addr >> 4] = obj
                 return obj
         return None
 
@@ -194,7 +208,19 @@ class Memory:
     # -- byte access ---------------------------------------------------------
 
     def read_bytes(self, addr: int, size: int) -> tuple[bytes, bool]:
-        """Read raw bytes; returns (data, any_uninitialized)."""
+        """Read raw bytes; returns (data, any_uninitialized).
+
+        The common case — the whole range inside one object — is served by
+        slice operations; only accesses that spill past an object (the UB
+        substrate) fall back to the per-byte walk.  Both paths return
+        identical bytes/taint because containment is unique (see
+        :meth:`object_at`).
+        """
+        obj = self.object_at(addr)
+        if obj is not None and addr + size <= obj.end:
+            offset = addr - obj.base
+            end = offset + size
+            return bytes(obj.data[offset:end]), 0 in obj.initialized[offset:end]
         out = bytearray()
         tainted = False
         for a in range(addr, addr + size):
@@ -212,6 +238,14 @@ class Memory:
         return bytes(out), tainted
 
     def write_bytes(self, addr: int, data: bytes) -> None:
+        size = len(data)
+        obj = self.object_at(addr)
+        if obj is not None and addr + size <= obj.end:
+            offset = addr - obj.base
+            end = offset + size
+            obj.data[offset:end] = data
+            obj.initialized[offset:end] = b"\x01" * size
+            return
         for i, byte in enumerate(data):
             a = addr + i
             obj = self.object_at(a)
@@ -223,6 +257,13 @@ class Memory:
                 self._spill[a] = byte
 
     def read_int(self, addr: int, size: int, signed: bool) -> tuple[int, bool]:
+        obj = self.object_at(addr)
+        if obj is not None and addr + size <= obj.end:
+            offset = addr - obj.base
+            end = offset + size
+            return (int.from_bytes(obj.data[offset:end], "little",
+                                   signed=signed),
+                    0 in obj.initialized[offset:end])
         data, tainted = self.read_bytes(addr, size)
         return int.from_bytes(data, "little", signed=signed), tainted
 
@@ -232,6 +273,11 @@ class Memory:
 
     def mark_initialized(self, addr: int, size: int, initialized: bool = True) -> None:
         flag = 1 if initialized else 0
+        obj = self.object_at(addr)
+        if obj is not None and addr + size <= obj.end:
+            offset = addr - obj.base
+            obj.initialized[offset:offset + size] = bytes([flag]) * size
+            return
         for a in range(addr, addr + size):
             obj = self.object_at(a)
             if obj is not None:

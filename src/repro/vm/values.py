@@ -11,8 +11,6 @@ Memory").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.cdsl import ctypes_ as ct
 
 #: The deterministic byte pattern returned when reading memory that was
@@ -21,18 +19,38 @@ from repro.cdsl import ctypes_ as ct
 UNINIT_BYTE = 0xAA
 
 
-@dataclass(frozen=True)
 class RuntimeValue:
-    """An integer or pointer value plus its uninitialized-taint bit."""
+    """An integer or pointer value plus its uninitialized-taint bit.
 
-    value: int
-    tainted: bool = False
+    Immutable by convention (nothing in the VM writes to an existing
+    instance, which lets hot paths share pooled instances).  A hand-written
+    ``__slots__`` class rather than a frozen dataclass: the VM constructs
+    one of these for every non-pooled intermediate value, and the frozen
+    ``object.__setattr__`` path costs ~2x a plain slot store per field.
+    """
+
+    __slots__ = ("value", "tainted")
+
+    def __init__(self, value: int, tainted: bool = False):
+        self.value = value
+        self.tainted = tainted
 
     def with_value(self, value: int) -> "RuntimeValue":
         return RuntimeValue(value, self.tainted)
 
     def __int__(self) -> int:
         return self.value
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is RuntimeValue:
+            return self.value == other.value and self.tainted == other.tainted
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.tainted))
+
+    def __repr__(self) -> str:
+        return f"RuntimeValue(value={self.value!r}, tainted={self.tainted!r})"
 
     @property
     def is_true(self) -> bool:

