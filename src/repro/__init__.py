@@ -19,6 +19,9 @@ This package reproduces, in pure Python, the system described in
 * :mod:`repro.markers`    — marker-based missed-optimization and
                             optimizer-regression finding (the DEAD-style
                             workload on the same toolchain);
+* :mod:`repro.triage`     — revision bisection over the simulated release
+                            timeline and the known-bug patch database that
+                            auto-suppresses already-attributed findings;
 * :mod:`repro.coverage`   — coverage measurement (Table 5);
 * :mod:`repro.analysis`   — experiment drivers and table/figure renderers;
 * :mod:`repro.orchestrator` — sharded worker-pool campaign execution with
@@ -101,6 +104,17 @@ from repro.seedgen import (
     SeedProgram,
     generate_juliet_suite,
 )
+from repro.triage import (
+    Attribution,
+    BisectionResult,
+    CrashProbe,
+    MarkerProbe,
+    RevisionBisector,
+    RevisionEvent,
+    attribute_bucket,
+    bisect_bucket,
+    release_timeline,
+)
 from repro.vm import ExecutionResult, SanitizerReport
 
 __version__ = "1.0.0"
@@ -124,6 +138,9 @@ __all__ = [
     "write_chrome_trace", "write_folded_stacks",
     "CsmithGenerator", "CsmithNoSafeGenerator", "GeneratorConfig",
     "MusicMutator", "SeedProgram", "generate_juliet_suite",
+    "Attribution", "BisectionResult", "CrashProbe", "MarkerProbe",
+    "RevisionBisector", "RevisionEvent", "attribute_bucket", "bisect_bucket",
+    "release_timeline",
     "ExecutionResult", "SanitizerReport",
     "__version__",
 ]

@@ -30,9 +30,11 @@ from repro.analysis.tables import (
     table4_generator_comparison,
     table5_coverage,
     table6_root_causes,
+    table_attribution,
     table_bucket_lifetimes,
     table_campaign_recurrence,
     table_campaign_trend,
+    table_known_bugs,
     table_marker_findings,
     table_marker_survival,
     table_reduction_quality,
@@ -51,7 +53,8 @@ __all__ = [
     "figure11_affected_opt_levels",
     "bug_summary_rows", "table2_sanitizer_support", "table3_bug_status",
     "table4_generator_comparison", "table5_coverage", "table6_root_causes",
-    "table_bucket_lifetimes", "table_campaign_recurrence",
-    "table_campaign_trend", "table_marker_findings", "table_marker_survival",
+    "table_attribution", "table_bucket_lifetimes",
+    "table_campaign_recurrence", "table_campaign_trend", "table_known_bugs",
+    "table_marker_findings", "table_marker_survival",
     "table_reduction_quality", "table_stage_profile",
 ]

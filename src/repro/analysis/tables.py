@@ -260,6 +260,52 @@ def table_campaign_recurrence(campaigns: Sequence[dict]) -> Table:
     return headers, rows
 
 
+def table_attribution(attributions: Sequence) -> Table:
+    """Bisection attributions: one row per finding sent through the bisector.
+
+    *attributions* is a sequence of
+    :class:`~repro.triage.attribution.Attribution`.  ``Responsible`` is the
+    timeline event id the bisector pinned (``optimizer-defect-introduced:
+    gcc-11:constprop``-style), ``Window`` the contiguous affected-version
+    range, and ``Probes`` the number of compile-and-check probes spent —
+    bounded by :func:`~repro.triage.bisector.probe_budget`.
+    """
+    headers = ["Bucket", "Kind", "Compiler", "Window", "Responsible",
+               "Status", "Probes"]
+    rows: Rows = []
+    for attribution in attributions:
+        result = attribution.result
+        rows.append([attribution.slug, attribution.kind, attribution.compiler,
+                     result.window_label, attribution.responsible,
+                     attribution.status, result.probes])
+    return headers, rows
+
+
+def table_known_bugs(known_bugs: Sequence[dict]) -> Table:
+    """The known-bug patch database: every attributed bucket signature.
+
+    *known_bugs* is the output of
+    :meth:`~repro.corpusdb.db.FindingsDB.known_bugs`.  ``Suppressed`` counts
+    campaigns that re-found the bucket after attribution and filed a
+    suppression-ledger line instead of a fresh report.
+    """
+    headers = ["Bucket", "Kind", "Compiler", "Window", "Responsible",
+               "Status", "Suppressed"]
+    rows: Rows = []
+    for bug in known_bugs:
+        introduced = bug.get("introduced_version")
+        fixed = bug.get("fixed_version")
+        window = bug.get("window") or (
+            f"[{introduced}, {fixed if fixed is not None else 'open'})"
+            if introduced is not None else "-")
+        suppressed = (f"{bug.get('suppressed_campaigns', 0)} campaign(s)"
+                      if bug.get("suppressed_campaigns") else "-")
+        rows.append([bug.get("slug") or bug["signature"][:40],
+                     bug["kind"], bug.get("compiler") or "-", window,
+                     bug["responsible"], bug["status"], suppressed])
+    return headers, rows
+
+
 def bug_summary_rows(reports: Sequence[BugReport]) -> Rows:
     """A flat listing of found bugs (used by examples and docs)."""
     rows: Rows = []

@@ -153,7 +153,7 @@ class BugTriager:
             is_false_negative=False,
             affected_opt_levels=[candidate.first.config.opt_level,
                                  candidate.second.config.opt_level],
-            affected_versions=[trunk_version(config.compiler)],
+            affected_versions=self._wrong_report_versions(defect, config),
             metadata={"difference": candidate.difference})
 
     def deduplicate(self, reports: List[BugReport]) -> List[BugReport]:
@@ -170,7 +170,22 @@ class BugTriager:
                 key=ALL_OPT_LEVELS.index)
             existing.affected_versions = sorted(
                 set(existing.affected_versions) | set(report.affected_versions))
+            self._merge_metadata(existing, report)
         return list(unique.values())
+
+    @staticmethod
+    def _merge_metadata(existing: BugReport, report: BugReport) -> None:
+        """Fold a duplicate's metadata into the kept report: count the
+        merge and keep the best (smallest) reduced reproducer, so reduction
+        work done on any duplicate survives deduplication."""
+        existing.metadata["merged_duplicates"] = (
+            existing.metadata.get("merged_duplicates", 0) + 1)
+        theirs = report.metadata.get("reduction")
+        if theirs is not None:
+            ours = existing.metadata.get("reduction")
+            if ours is None or (theirs.get("reduced_tokens", float("inf"))
+                                < ours.get("reduced_tokens", float("inf"))):
+                existing.metadata["reduction"] = dict(theirs)
 
     # -- internals ---------------------------------------------------------------
 
@@ -203,20 +218,88 @@ class BugTriager:
         return binary.run(max_steps=self.max_steps, vm=self.vm)
 
     def _bisect_defect(self, candidate: FNBugCandidate) -> Optional[Defect]:
-        """Disable one defect at a time until the sanitizer detects the UB."""
+        """Disable one defect at a time until the sanitizer detects the UB.
+
+        Each defect is probed at the newest release it is *active* on —
+        probing only at trunk could never attribute a defect whose window
+        closed at or before trunk (its removal changes nothing there), so
+        fixed bugs came back ``unexplained-…`` instead of
+        ``STATUS_FIXED``.  Sweeping the timeline needs a guard the
+        trunk-only probe got implicitly from the campaign's observation:
+        the UB must actually be *missed* with the full registry at the
+        probed release, otherwise any defect probed at a release where
+        nothing hides the UB would take credit."""
         config = candidate.missing.config
         program = candidate.program
-        version = trunk_version(config.compiler)
+        trunk = trunk_version(config.compiler)
+        missed_at: Dict[int, bool] = {}
+
+        def missed(version: int) -> bool:
+            if version not in missed_at:
+                result = self._run(program, config.compiler, version,
+                                   config.sanitizer, config.opt_level,
+                                   self.registry)
+                missed_at[version] = not self._detected(result,
+                                                        program.ub_type)
+            return missed_at[version]
+
         for defect in self.registry:
             if defect.compiler != config.compiler or defect.sanitizer != config.sanitizer:
+                continue
+            version = self._newest_active_version(defect, trunk)
+            if version is None or not missed(version):
                 continue
             reduced = [d for d in self.registry if d is not defect]
             result = self._run(program, config.compiler, version,
                                config.sanitizer, config.opt_level, reduced)
-            if result is not None and result.crashed and result.report is not None \
-                    and detects(program.ub_type, result.report.kind):
+            if self._detected(result, program.ub_type):
                 return defect
         return None
+
+    @staticmethod
+    def _detected(result, ub_type: UBType) -> bool:
+        return (result is not None and result.crashed
+                and result.report is not None
+                and detects(ub_type, result.report.kind))
+
+    @staticmethod
+    def _newest_active_version(defect: Defect, trunk: int) -> Optional[int]:
+        """The newest release a defect is live on: trunk for open defects,
+        the release before the fix otherwise (None when the window is
+        empty — the defect never shipped)."""
+        version = trunk
+        if defect.fixed_version is not None:
+            version = min(version, defect.fixed_version - 1)
+        if version < defect.introduced_version:
+            return None
+        return version
+
+    def _wrong_report_versions(self, defect: Optional[Defect],
+                               config) -> List[int]:
+        """The releases a wrong-report bug actually affects.
+
+        Bisected over the responsible defect's activity window (lazy
+        import: :mod:`repro.triage` sits above :mod:`repro.core`) instead
+        of hardcoding ``[trunk]`` — line-skew defects introduced releases
+        ago mis-report on every release of their window, and Figure 10
+        needs the real range."""
+        trunk = trunk_version(config.compiler)
+        if defect is None:
+            return [trunk]
+        anchor = self._newest_active_version(defect, trunk)
+        if anchor is None:
+            return [trunk]
+        opt_level = config.opt_level
+        if defect.opt_levels and opt_level not in defect.opt_levels:
+            opt_level = defect.opt_levels[0]
+        from repro.triage import RevisionBisector
+
+        bisector = RevisionBisector(config.compiler)
+        result = bisector.bisect(
+            lambda version: defect.active_for(config.compiler, version,
+                                              config.sanitizer, opt_level),
+            anchor)
+        return result.affected_versions
 
     def _find_wrong_report_defect(self, candidate: WrongReportCandidate) -> Optional[Defect]:
         config = candidate.second.config

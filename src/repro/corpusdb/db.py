@@ -19,7 +19,15 @@ telemetry store) accumulates what every campaign ever found:
 * ``corpus_outcomes``  — one row per surveyed ``(program, compiler,
   version, pipeline, sanitizer)`` cell, the unit ``--resurvey`` skips;
 * ``corpus_reductions``/``corpus_seeds`` — reduced reproducers per bucket
-  and per-campaign ingested-seed bookkeeping for checkpoint/resume.
+  and per-campaign ingested-seed bookkeeping for checkpoint/resume;
+* ``corpus_known_bugs`` / ``corpus_attributions`` — the known-bug patch
+  database (schema v2): one row per attributed finding, keyed by the
+  canonical bucket signature plus the responsible release-timeline event
+  the :mod:`repro.triage` bisector converged on, with the bisection
+  evidence (window, probe count, edge events) alongside;
+* ``corpus_suppressions`` — the auto-suppression ledger: one row per
+  (known bug, campaign) that re-found an already-attributed bucket and
+  suppressed it instead of re-filing.
 
 All multi-statement writes go through ``BEGIN IMMEDIATE`` transactions
 with bounded lock retries (:func:`repro.corpusdb.connection.immediate`),
@@ -43,7 +51,10 @@ logger = logging.getLogger(__name__)
 
 #: Schema version, recorded in ``corpus_meta`` (never ``PRAGMA
 #: user_version``, which the telemetry store owns on a shared file).
-CORPUS_SCHEMA_VERSION = 1
+#: v2 added the known-bug patch database (``corpus_known_bugs`` /
+#: ``corpus_attributions`` / ``corpus_suppressions``); every table is
+#: ``CREATE TABLE IF NOT EXISTS``, so v1 files upgrade on open.
+CORPUS_SCHEMA_VERSION = 2
 
 #: Bucket kind for sanitizer FN crash findings; marker findings use the
 #: marker engine's kind strings (missed-optimization / regression /
@@ -141,6 +152,38 @@ CREATE TABLE IF NOT EXISTS corpus_reductions (
     campaign_id INTEGER REFERENCES corpus_campaigns(id),
     recorded_at REAL NOT NULL
 );
+CREATE TABLE IF NOT EXISTS corpus_known_bugs (
+    id                  INTEGER PRIMARY KEY AUTOINCREMENT,
+    kind                TEXT NOT NULL,
+    signature           TEXT NOT NULL,
+    compiler            TEXT NOT NULL DEFAULT '',
+    responsible         TEXT NOT NULL,
+    introduced_version  INTEGER,
+    fixed_version       INTEGER,
+    status              TEXT NOT NULL DEFAULT 'open',
+    window              TEXT NOT NULL DEFAULT '',
+    first_attributed_at REAL NOT NULL,
+    UNIQUE (kind, signature, responsible)
+);
+CREATE INDEX IF NOT EXISTS corpus_known_bugs_by_sig
+    ON corpus_known_bugs(kind, signature);
+CREATE TABLE IF NOT EXISTS corpus_attributions (
+    known_bug_id     INTEGER PRIMARY KEY REFERENCES corpus_known_bugs(id),
+    bucket_id        INTEGER REFERENCES corpus_buckets(id),
+    observed_version INTEGER,
+    introduced_event TEXT NOT NULL DEFAULT '',
+    fixed_event      TEXT NOT NULL DEFAULT '',
+    probes           INTEGER NOT NULL DEFAULT 0,
+    campaign_id      INTEGER REFERENCES corpus_campaigns(id),
+    recorded_at      REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS corpus_suppressions (
+    known_bug_id INTEGER NOT NULL REFERENCES corpus_known_bugs(id),
+    campaign_id  INTEGER NOT NULL REFERENCES corpus_campaigns(id),
+    hits         INTEGER NOT NULL DEFAULT 0,
+    recorded_at  REAL NOT NULL,
+    PRIMARY KEY (known_bug_id, campaign_id)
+);
 """
 
 
@@ -205,6 +248,13 @@ class FindingsDB:
             self._conn.execute(
                 "INSERT OR IGNORE INTO corpus_meta (key, value) "
                 "VALUES ('schema_version', ?)", (str(CORPUS_SCHEMA_VERSION),))
+            # Opening an older file upgrades it in place: the schema above
+            # is purely additive (IF NOT EXISTS), so bumping the recorded
+            # version is the whole migration.
+            self._conn.execute(
+                "UPDATE corpus_meta SET value = ? WHERE key = 'schema_version' "
+                "AND CAST(value AS INTEGER) < ?",
+                (str(CORPUS_SCHEMA_VERSION), CORPUS_SCHEMA_VERSION))
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -573,10 +623,140 @@ class FindingsDB:
                              ("buckets", "corpus_buckets"),
                              ("hits", "corpus_bucket_hits"),
                              ("outcomes", "corpus_outcomes"),
-                             ("reductions", "corpus_reductions")):
+                             ("reductions", "corpus_reductions"),
+                             ("known_bugs", "corpus_known_bugs"),
+                             ("attributions", "corpus_attributions"),
+                             ("suppressions", "corpus_suppressions")):
             counts[label] = self._conn.execute(
                 f"SELECT COUNT(*) FROM {table}").fetchone()[0]
         return counts
+
+    # -- known-bug patch database -----------------------------------------------
+
+    def record_attribution(self, kind: str, signature: str, *,
+                           responsible: str, compiler: str = "",
+                           introduced_version: Optional[int] = None,
+                           fixed_version: Optional[int] = None,
+                           status: str = "open", window: str = "",
+                           observed_version: Optional[int] = None,
+                           introduced_event: str = "", fixed_event: str = "",
+                           probes: int = 0,
+                           campaign_id: Optional[int] = None,
+                           now: Optional[float] = None) -> int:
+        """Upsert one known bug plus its (latest) bisection evidence.
+
+        Known bugs are content-addressed by ``(kind, signature,
+        responsible)`` — the bucket's canonical signature plus the
+        responsible release-timeline event id — so re-bisecting the same
+        finding refreshes the evidence row instead of filing a second bug.
+        Returns the known-bug id."""
+        stamp = time.time() if now is None else now
+        with immediate(self._conn):
+            self._conn.execute(
+                "INSERT INTO corpus_known_bugs (kind, signature, compiler, "
+                "responsible, introduced_version, fixed_version, status, "
+                "window, first_attributed_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT (kind, signature, responsible) DO UPDATE SET "
+                "compiler = excluded.compiler, "
+                "introduced_version = excluded.introduced_version, "
+                "fixed_version = excluded.fixed_version, "
+                "status = excluded.status, window = excluded.window",
+                (kind, signature, compiler, responsible, introduced_version,
+                 fixed_version, status, window, stamp))
+            known_bug_id = int(self._conn.execute(
+                "SELECT id FROM corpus_known_bugs WHERE kind = ? AND "
+                "signature = ? AND responsible = ?",
+                (kind, signature, responsible)).fetchone()["id"])
+            bucket = self._conn.execute(
+                "SELECT id FROM corpus_buckets WHERE kind = ? AND "
+                "signature = ?", (kind, signature)).fetchone()
+            self._conn.execute(
+                "INSERT OR REPLACE INTO corpus_attributions (known_bug_id, "
+                "bucket_id, observed_version, introduced_event, fixed_event, "
+                "probes, campaign_id, recorded_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (known_bug_id, bucket["id"] if bucket is not None else None,
+                 observed_version, introduced_event, fixed_event, probes,
+                 campaign_id, stamp))
+        return known_bug_id
+
+    def known_bugs(self) -> List[dict]:
+        """Every attributed bug with its bisection evidence and how many
+        campaigns its suppression saved a re-file in."""
+        rows = self._conn.execute(
+            "SELECT k.id, k.kind, k.signature, k.compiler, k.responsible, "
+            "k.introduced_version, k.fixed_version, k.status, k.window, "
+            "k.first_attributed_at, b.slug, b.count AS bucket_count, "
+            "a.observed_version, a.introduced_event, a.fixed_event, "
+            "a.probes, a.recorded_at AS attributed_at, "
+            "(SELECT COUNT(*) FROM corpus_suppressions s "
+            " WHERE s.known_bug_id = k.id) AS suppressed_campaigns, "
+            "(SELECT COALESCE(SUM(s.hits), 0) FROM corpus_suppressions s "
+            " WHERE s.known_bug_id = k.id) AS suppressed_hits "
+            "FROM corpus_known_bugs k "
+            "LEFT JOIN corpus_attributions a ON a.known_bug_id = k.id "
+            "LEFT JOIN corpus_buckets b ON b.id = a.bucket_id "
+            "ORDER BY k.id")
+        return [dict(row) for row in rows]
+
+    def known_bug_index(self) -> Dict[Tuple[str, str], dict]:
+        """Attributed signatures → known-bug row, the campaign-side
+        suppression lookup (one query at campaign start)."""
+        index: Dict[Tuple[str, str], dict] = {}
+        for row in self.known_bugs():
+            index.setdefault((row["kind"], row["signature"]), row)
+        return index
+
+    def record_suppressions(self, campaign_id: int,
+                            entries: Iterable[dict],
+                            now: Optional[float] = None) -> int:
+        """Ledger one campaign's suppressed re-finds.
+
+        *entries* are ``{"kind", "signature", "hits"}`` dicts with the
+        campaign's cumulative hit count per suppressed bucket; re-flushing
+        keeps the maximum, so resumed deltas never double-count."""
+        stamp = time.time() if now is None else now
+        entries = list(entries)
+        if not entries:
+            return 0
+        recorded = 0
+        with immediate(self._conn):
+            for entry in entries:
+                row = self._conn.execute(
+                    "SELECT id FROM corpus_known_bugs WHERE kind = ? AND "
+                    "signature = ? ORDER BY id LIMIT 1",
+                    (entry["kind"], entry["signature"])).fetchone()
+                if row is None:
+                    continue
+                self._conn.execute(
+                    "INSERT INTO corpus_suppressions (known_bug_id, "
+                    "campaign_id, hits, recorded_at) VALUES (?, ?, ?, ?) "
+                    "ON CONFLICT (known_bug_id, campaign_id) DO UPDATE SET "
+                    "hits = MAX(hits, excluded.hits)",
+                    (row["id"], campaign_id,
+                     int(entry.get("hits", 1)), stamp))
+                recorded += 1
+        return recorded
+
+    def suppression_ledger(self, campaign_id: Optional[int] = None
+                           ) -> List[dict]:
+        """The suppression ledger (optionally one campaign's slice): which
+        known bug suppressed which campaign's re-find, with hit counts."""
+        sql = ("SELECT s.known_bug_id, s.campaign_id, s.hits, "
+               "s.recorded_at, c.key AS campaign_key, k.kind, k.signature, "
+               "k.responsible, k.status, b.slug "
+               "FROM corpus_suppressions s "
+               "JOIN corpus_known_bugs k ON k.id = s.known_bug_id "
+               "JOIN corpus_campaigns c ON c.id = s.campaign_id "
+               "LEFT JOIN corpus_attributions a ON a.known_bug_id = k.id "
+               "LEFT JOIN corpus_buckets b ON b.id = a.bucket_id ")
+        params: List = []
+        if campaign_id is not None:
+            sql += "WHERE s.campaign_id = ? "
+            params.append(campaign_id)
+        sql += "ORDER BY s.known_bug_id, s.campaign_id"
+        return [dict(row) for row in self._conn.execute(sql, params)]
 
     # -- marker campaigns -------------------------------------------------------
 
@@ -641,4 +821,13 @@ class FindingsDB:
             })
         self.ingest_delta(campaign_id, programs=programs, hits=hits,
                           outcomes=outcomes, now=now)
+        # Auto-suppression: marker buckets the known-bug patch database
+        # already attributes are ledgered against this campaign.
+        attributed = self.known_bug_index()
+        self.record_suppressions(
+            campaign_id,
+            ({"kind": hit["kind"], "signature": hit["signature"], "hits": 1}
+             for hit in hits
+             if (hit["kind"], hit["signature"]) in attributed),
+            now=now)
         return campaign_id

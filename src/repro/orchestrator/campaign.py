@@ -147,6 +147,9 @@ class OrchestratedCampaign:
         #: Merged telemetry summary of the last run(): deterministic metric
         #: totals plus the compilation-cache hit/miss/eviction counters.
         self.telemetry_summary: Optional[dict] = None
+        #: Marker-mode suppression ledger rows from the last run(): buckets
+        #: the known-bug patch database already attributes (``--db`` only).
+        self.marker_suppressions: List[dict] = []
 
     # -- public ----------------------------------------------------------------
 
@@ -331,8 +334,12 @@ class OrchestratedCampaign:
             from repro.corpusdb import FindingsDB
             fingerprint = config_fingerprint(self.config)
             with FindingsDB(self.db_path) as db:
-                db.ingest_marker_result(f"markers-{fingerprint}", result,
-                                        fingerprint=fingerprint)
+                campaign_id = db.ingest_marker_result(
+                    f"markers-{fingerprint}", result,
+                    fingerprint=fingerprint)
+                # Buckets the known-bug patch database already attributes
+                # were ledgered by the ingest; surface them in the summary.
+                self.marker_suppressions = db.suppression_ledger(campaign_id)
             logger.info("marker findings ingested into %s", self.db_path)
         return result
 

@@ -262,6 +262,55 @@ def build_migrate_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_bisect_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.orchestrator bisect",
+        description="Bisect findings-database buckets over the simulated "
+                    "release timeline: binary-search to the exact version "
+                    "— and the pass-introduction or defect-window event at "
+                    "that version — responsible for each finding, and "
+                    "record the attribution in the known-bug patch "
+                    "database so later campaigns suppress the bucket "
+                    "instead of re-filing it.")
+    parser.add_argument("buckets", nargs="*", metavar="SUBSTR",
+                        help="bisect buckets whose slug or signature "
+                             "contains SUBSTR (omit with --all)")
+    parser.add_argument("--db", required=True, metavar="PATH", dest="db_path",
+                        help="findings database holding the buckets")
+    parser.add_argument("--all", action="store_true", dest="all_buckets",
+                        help="bisect every bucket in the database")
+    parser.add_argument("--kind", default=None, metavar="KIND",
+                        help="only buckets of this kind: crash, "
+                             "missed-optimization, regression, "
+                             "unsound-elimination")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="bisect and print, but record nothing")
+    parser.add_argument("--vm", choices=("interp", "compiled"),
+                        default="compiled",
+                        help="execution backend for crash probes "
+                             "(default: compiled)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable output")
+    return parser
+
+
+def build_known_bugs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.orchestrator known-bugs",
+        description="Print the known-bug patch database: every attributed "
+                    "bucket with its responsible release-timeline event, "
+                    "affected-version window, and the campaigns whose "
+                    "re-finds it suppressed.")
+    parser.add_argument("--db", required=True, metavar="PATH", dest="db_path",
+                        help="findings database holding the attributions")
+    parser.add_argument("--ledger", action="store_true",
+                        help="also print the per-campaign suppression "
+                             "ledger")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable output")
+    return parser
+
+
 class CLIError(Exception):
     """A user-input problem reported as a clean one-line error."""
 
@@ -373,6 +422,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _query_main(argv[1:])
     if argv[:1] == ["migrate"]:
         return _migrate_main(argv[1:])
+    if argv[:1] == ["bisect"]:
+        return _bisect_main(argv[1:])
+    if argv[:1] == ["known-bugs"]:
+        return _known_bugs_main(argv[1:])
     args = build_parser().parse_args(argv)
     configure_logging(0 if args.quiet else 1 + args.verbose)
     try:
@@ -465,7 +518,11 @@ def _run(args: argparse.Namespace) -> int:
                              "unique_crashes": corpus_summary["unique_crashes"],
                              "new_buckets": corpus_summary["new_buckets"],
                              "recurrent_buckets":
-                                 corpus_summary["recurrent_buckets"]}
+                                 corpus_summary["recurrent_buckets"],
+                             "suppressed_buckets":
+                                 corpus_summary["suppressed_buckets"]}
+        if corpus_summary["suppressed_buckets"]:
+            summary["suppressions"] = orchestrated.corpus.suppressions()
     if args.resurvey:
         summary["resurvey"] = {"surveyed_cells": orchestrated.surveyed_cells,
                                "skipped_cells": orchestrated.skipped_cells}
@@ -502,6 +559,13 @@ def _run(args: argparse.Namespace) -> int:
             print(f"cross-campaign dedup  : {corpus['new_buckets']} "
                   f"new bucket(s), {corpus['recurrent_buckets']} seen in "
                   f"earlier campaigns")
+        if corpus["suppressed_buckets"]:
+            print(f"known-bug suppression : {corpus['suppressed_buckets']} "
+                  f"bucket(s) already attributed — reported once, not "
+                  f"re-filed")
+            for line in summary.get("suppressions", ()):
+                print(f"  suppressed_by {line['suppressed_by']}: "
+                      f"{line['slug']} — {line['hits']} hit(s)")
     if "resurvey" in summary:
         resurvey = summary["resurvey"]
         total = resurvey["surveyed_cells"] + resurvey["skipped_cells"]
@@ -585,6 +649,11 @@ def _run_markers(args: argparse.Namespace, config, progress) -> int:
         summary["cache"] = orchestrated.telemetry_summary["cache"]
     if args.db_path is not None:
         summary["db"] = {"path": args.db_path}
+    if orchestrated.marker_suppressions:
+        summary["suppressions"] = [
+            {"slug": line["slug"] or line["signature"][:40],
+             "suppressed_by": line["responsible"], "hits": line["hits"]}
+            for line in orchestrated.marker_suppressions]
     if orchestrated.reductions:
         summary["reductions"] = [record.to_json()
                                  for record in orchestrated.reductions]
@@ -611,6 +680,12 @@ def _run_markers(args: argparse.Namespace, config, progress) -> int:
     print(f"finding buckets       : {len(result.buckets)}")
     for line in format_table(headers, rows).splitlines():
         print(f"  {line}")
+    if "suppressions" in summary:
+        print(f"known-bug suppression : {len(summary['suppressions'])} "
+              f"bucket(s) already attributed — reported once, not re-filed")
+        for line in summary["suppressions"]:
+            print(f"  suppressed_by {line['suppressed_by']}: "
+                  f"{line['slug']} — {line['hits']} hit(s)")
     if "db" in summary:
         print(f"findings database     : {summary['db']['path']} "
               f"(query: python -m repro.orchestrator query --db "
@@ -901,6 +976,107 @@ def _query_main(argv: List[str]) -> int:
     print(f"database: {counts['buckets']} buckets, {counts['hits']} hits, "
           f"{counts['programs']} programs, {counts['outcomes']} outcomes, "
           f"{counts['reductions']} reductions across "
+          f"{counts['campaigns']} campaigns")
+    return 0
+
+
+def _bisect_main(argv: List[str]) -> int:
+    """The ``bisect`` subcommand: attribute buckets to timeline events."""
+    from repro.compilers.cache import CompilationCache
+    from repro.corpusdb import FindingsDB
+    from repro.triage import BisectionError, bisect_bucket, record_attribution
+    args = build_bisect_parser().parse_args(argv)
+    if not args.buckets and not args.all_buckets:
+        print("error: name at least one bucket substring, or pass --all",
+              file=sys.stderr)
+        return 2
+    if not os.path.exists(args.db_path):
+        print(f"error: findings database {args.db_path!r} does not exist "
+              f"(run a campaign with --db first)", file=sys.stderr)
+        return 2
+    cache = CompilationCache()
+    attributions = []
+    failures = []
+    with FindingsDB(args.db_path) as db:
+        if args.all_buckets:
+            rows = db.query_buckets(kind=args.kind)
+        else:
+            seen = set()
+            rows = []
+            for substr in args.buckets:
+                for row in db.query_buckets(kind=args.kind, bucket=substr):
+                    if row["id"] not in seen:
+                        seen.add(row["id"])
+                        rows.append(row)
+        for row in rows:
+            try:
+                attribution = bisect_bucket(db, row, cache=cache, vm=args.vm)
+            except BisectionError as exc:
+                failures.append({"slug": row["slug"], "error": str(exc)})
+                continue
+            if not args.dry_run:
+                record_attribution(db, attribution)
+            attributions.append(attribution)
+    if args.as_json:
+        print(json.dumps({
+            "attributions": [a.to_json() for a in attributions],
+            "failures": failures,
+            "recorded": not args.dry_run,
+        }, indent=2))
+        return 0 if not failures else 1
+    if not attributions and not failures:
+        print("no matching buckets")
+        return 0
+    if attributions:
+        from repro.analysis.tables import table_attribution
+        from repro.utils.text import format_table
+        headers, table = table_attribution(attributions)
+        print(format_table(headers, table))
+    for failure in failures:
+        print(f"  [unbisected] {failure['slug']}: {failure['error']}")
+    verb = "bisected" if args.dry_run else "attributed"
+    print(f"{verb} {len(attributions)} bucket(s)"
+          + (f", {len(failures)} failed" if failures else "")
+          + ("" if args.dry_run else
+             f" — recorded in {args.db_path} (campaigns sharing this "
+             f"database now suppress them)"))
+    return 0 if not failures else 1
+
+
+def _known_bugs_main(argv: List[str]) -> int:
+    """The ``known-bugs`` subcommand: print the known-bug patch database."""
+    from repro.corpusdb import FindingsDB
+    args = build_known_bugs_parser().parse_args(argv)
+    if not os.path.exists(args.db_path):
+        print(f"error: findings database {args.db_path!r} does not exist "
+              f"(run a campaign with --db first)", file=sys.stderr)
+        return 2
+    with FindingsDB(args.db_path) as db:
+        bugs = db.known_bugs()
+        ledger = db.suppression_ledger()
+        counts = db.summary()
+    if args.as_json:
+        print(json.dumps({"known_bugs": bugs, "ledger": ledger,
+                          "summary": counts}, indent=2))
+        return 0
+    if not bugs:
+        print("no known bugs recorded (attribute buckets with 'bisect')")
+        return 0
+    from repro.analysis.tables import table_known_bugs
+    from repro.utils.text import format_table
+    headers, table = table_known_bugs(bugs)
+    print(format_table(headers, table))
+    if args.ledger:
+        print("suppression ledger    :")
+        if not ledger:
+            print("  (no campaign re-found an attributed bucket yet)")
+        for line in ledger:
+            print(f"  suppressed_by {line['responsible']}: "
+                  f"{line['slug'] or line['signature'][:40]} — "
+                  f"{line['hits']} hit(s) in campaign "
+                  f"{(line['campaign_key'] or '?')[-40:]}")
+    print(f"known bugs: {len(bugs)} attributed, "
+          f"{counts['suppressions']} suppression ledger line(s) across "
           f"{counts['campaigns']} campaigns")
     return 0
 

@@ -100,6 +100,11 @@ class CrashBucket:
     #: is a *recurrence* (first seen by an earlier campaign in the shared
     #: findings database); ``None`` for buckets this campaign opened.
     first_seen: Optional[dict] = None
+    #: Auto-suppression: the responsible event id from the known-bug patch
+    #: database when this signature was already attributed by a bisection —
+    #: the bucket is ledgered (``corpus_suppressions``) instead of
+    #: presenting as a new finding.  ``None`` for unattributed buckets.
+    suppressed_by: Optional[str] = None
 
     @property
     def key(self) -> BucketKey:
@@ -123,6 +128,8 @@ class CrashBucket:
             record["reduction"] = self.reduction
         if self.first_seen is not None:
             record["first_seen"] = self.first_seen
+        if self.suppressed_by is not None:
+            record["suppressed_by"] = self.suppressed_by
         return record
 
     @staticmethod
@@ -134,7 +141,8 @@ class CrashBucket:
                            program_ids=list(record["program_ids"]),
                            configs=list(record["configs"]),
                            reduction=record.get("reduction"),
-                           first_seen=record.get("first_seen"))
+                           first_seen=record.get("first_seen"),
+                           suppressed_by=record.get("suppressed_by"))
 
 
 def _outcome_status(outcome) -> str:
@@ -176,6 +184,11 @@ class CorpusStore:
         #: shared database had recorded / had already recorded.
         self.new_global_buckets = 0
         self.recurrent_buckets = 0
+        #: Buckets whose signature the known-bug patch database already
+        #: attributes to a responsible event: reported once with a
+        #: ``suppressed_by`` line, ledgered, never re-filed as new.
+        self.suppressed_buckets = 0
+        self._suppressed_hits: Dict[BucketKey, int] = {}
         #: Rows the most recent :meth:`flush` wrote — the figure the
         #: flush-cost benchmark gates on (O(delta), never O(corpus)).
         self.last_flush_ops = 0
@@ -198,6 +211,9 @@ class CorpusStore:
             migrate_campaign_dir(self.db, self.root, key=self.campaign_key)
         self.campaign_id = self.db.open_campaign(self.campaign_key,
                                                  root=self.root)
+        #: The known-bug patch database's attributed signatures, loaded
+        #: once at campaign start — the auto-suppression lookup.
+        self._known_bugs = self.db.known_bug_index()
         self._load_from_db()
 
     def close(self) -> None:
@@ -276,12 +292,22 @@ class CorpusStore:
         if bucket is None:
             bucket = CrashBucket(ub_type=ub_type, crash_site=site,
                                  sanitizer=missing_config.sanitizer)
+            known = self._known_bugs.get((CRASH_KIND, signature_for(key)))
+            if known is not None:
+                # Already attributed: report once with the responsible
+                # event, ledger the sighting, never count it as a find.
+                bucket.suppressed_by = known["responsible"]
+                self.suppressed_buckets += 1
             bucket.first_seen = self._earlier_sighting(key)
-            if bucket.first_seen is None:
+            if bucket.suppressed_by is not None:
+                pass
+            elif bucket.first_seen is None:
                 self.new_global_buckets += 1
             else:
                 self.recurrent_buckets += 1
             self.buckets[key] = bucket
+        if bucket.suppressed_by is not None:
+            self._suppressed_hits[key] = self._suppressed_hits.get(key, 0) + 1
         bucket.count += 1
         if program_id not in bucket.program_ids:
             bucket.program_ids.append(program_id)
@@ -355,8 +381,21 @@ class CorpusStore:
             "unique_crashes": self.unique_crashes,
             "new_buckets": self.new_global_buckets,
             "recurrent_buckets": self.recurrent_buckets,
+            "suppressed_buckets": self.suppressed_buckets,
             "buckets": [bucket.to_json() for _, bucket in sorted(self.buckets.items())],
         }
+
+    def suppressions(self) -> List[dict]:
+        """This campaign's suppression ledger lines, one per suppressed
+        bucket: slug, responsible event and hit count."""
+        lines = []
+        for key, bucket in sorted(self.buckets.items()):
+            if bucket.suppressed_by is None:
+                continue
+            lines.append({"slug": bucket.slug,
+                          "suppressed_by": bucket.suppressed_by,
+                          "hits": bucket.count})
+        return lines
 
     # -- persistence -----------------------------------------------------------
 
@@ -388,6 +427,14 @@ class CorpusStore:
             hits=self._pending_hits,
             outcomes=self._pending_outcomes,
             reductions=self._pending_reductions)
+        if self._suppressed_hits:
+            # Cumulative per-bucket counts; the DB keeps the max, so a
+            # re-flushed delta after resume cannot double-count.
+            self.db.record_suppressions(
+                self.campaign_id,
+                ({"kind": CRASH_KIND, "signature": signature_for(key),
+                  "hits": hits}
+                 for key, hits in self._suppressed_hits.items()))
         if self.last_flush_ops:
             logger.debug("flushed corpus delta to %s (%d rows)",
                          self.db_path, self.last_flush_ops)
@@ -439,6 +486,10 @@ class CorpusStore:
                 bucket = CrashBucket(ub_type=key[0], crash_site=key[1],
                                      sanitizer=key[2],
                                      count=counts.get(hit["bucket_id"], 0))
+                known = self._known_bugs.get((CRASH_KIND, hit["signature"]))
+                if known is not None:
+                    bucket.suppressed_by = known["responsible"]
+                    self.suppressed_buckets += 1
                 if hit["first_campaign"] != self.campaign_id:
                     row = self.db.find_bucket(CRASH_KIND, hit["signature"])
                     bucket.first_seen = {

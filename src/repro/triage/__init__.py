@@ -1,0 +1,60 @@
+"""Revision bisection and the known-bug patch database.
+
+The campaign layers *find* behaviours (sanitizer false negatives, retained
+markers); this package answers "which release — and which change in that
+release — is responsible", the way diopter bisects real compiler revisions
+and DEAD's patch database keeps already-reported regressions from being
+re-filed:
+
+* :mod:`repro.triage.events` — the simulated release timeline flattened
+  into attributable :class:`RevisionEvent` rows (pass introductions,
+  optimizer-defect windows, sanitizer-defect windows);
+* :mod:`repro.triage.bisector` — :class:`RevisionBisector`, two binary
+  searches locating a finding's contiguous bad window in
+  ``O(log versions)`` memoized probes, pinned against the exhaustive
+  linear reference :func:`exhaustive_edges`;
+* :mod:`repro.triage.probes` — :class:`CrashProbe` (sanitizer silent?) and
+  :class:`MarkerProbe` (marker retained?), both riding the shared
+  :class:`~repro.compilers.cache.CompilationCache`;
+* :mod:`repro.triage.attribution` — bucket → probe → bisection →
+  ``corpus_known_bugs`` row; once recorded, campaigns sharing the
+  findings database suppress the bucket instead of re-filing it.
+"""
+
+from repro.triage.attribution import (Attribution, attribute_bucket,
+                                      bisect_bucket, record_attribution)
+from repro.triage.bisector import (BisectionError, BisectionResult,
+                                   RevisionBisector, exhaustive_edges,
+                                   probe_budget)
+from repro.triage.events import (FIXING_KINDS, INTRODUCING_KINDS,
+                                 OPTIMIZER_DEFECT_FIXED,
+                                 OPTIMIZER_DEFECT_INTRODUCED,
+                                 PASS_INTRODUCED_EVENT,
+                                 SANITIZER_DEFECT_FIXED,
+                                 SANITIZER_DEFECT_INTRODUCED, RevisionEvent,
+                                 events_at, release_timeline)
+from repro.triage.probes import CrashProbe, MarkerProbe
+
+__all__ = [
+    "Attribution",
+    "BisectionError",
+    "BisectionResult",
+    "CrashProbe",
+    "FIXING_KINDS",
+    "INTRODUCING_KINDS",
+    "MarkerProbe",
+    "OPTIMIZER_DEFECT_FIXED",
+    "OPTIMIZER_DEFECT_INTRODUCED",
+    "PASS_INTRODUCED_EVENT",
+    "RevisionBisector",
+    "RevisionEvent",
+    "SANITIZER_DEFECT_FIXED",
+    "SANITIZER_DEFECT_INTRODUCED",
+    "attribute_bucket",
+    "bisect_bucket",
+    "events_at",
+    "exhaustive_edges",
+    "probe_budget",
+    "record_attribution",
+    "release_timeline",
+]

@@ -1,0 +1,233 @@
+"""Binary search over the simulated release timeline.
+
+Given a *probe* — a predicate ``probe(version) -> bool`` that is ``True``
+when the finding's behaviour is present ("bad") at a release — and one
+version where the behaviour was observed, :class:`RevisionBisector`
+locates the contiguous bad window around the observation with two binary
+searches (diopter's ``bisector.py`` does the same over real git revisions):
+
+* the **introducing** edge: the oldest release of the window, reached by
+  bisecting between the oldest release (known good, or the window start)
+  and the observation;
+* the **fixing** edge: the first release after the window, reached by
+  bisecting between the observation and the newest release — ``None``
+  when the behaviour still reproduces on trunk.
+
+Probe results are memoized per version and counted, so a bisection costs
+``O(log |versions|)`` *distinct* probes — the property suite pins both the
+probe bound and parity with :func:`exhaustive_edges`, the obviously-correct
+linear reference.  Each edge is then mapped onto the release timeline
+(:func:`~repro.triage.events.release_timeline`) to name the responsible
+event.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.compilers.versions import all_versions, version_label
+from repro.triage.events import (FIXING_KINDS, INTRODUCING_KINDS,
+                                 RevisionEvent, events_at, release_timeline)
+
+Probe = Callable[[int], bool]
+
+
+class BisectionError(ValueError):
+    """The probe contradicts the observation (not bad at the anchor)."""
+
+
+def probe_budget(version_count: int) -> int:
+    """Worst-case distinct probes for one bisection over *version_count*
+    releases: both endpoint checks, the anchor, and two binary searches."""
+    if version_count <= 1:
+        return 3
+    return 2 * math.ceil(math.log2(version_count)) + 3
+
+
+@dataclass
+class BisectionResult:
+    """Where a finding's behaviour lives on the release timeline.
+
+    ``introduced`` is the oldest release of the contiguous bad window
+    containing the observation (the oldest simulated release when the
+    behaviour predates the timeline); ``fixed`` is the first release where
+    it disappears again, ``None`` while it still reproduces on the newest.
+    ``introduced_event`` / ``fixed_event`` are the timeline events the
+    edges land on (``None`` when no known event explains an edge).
+    """
+
+    compiler: str
+    observed: int
+    introduced: int
+    fixed: Optional[int]
+    probes: int
+    versions: List[int] = field(default_factory=list)
+    introduced_event: Optional[RevisionEvent] = None
+    fixed_event: Optional[RevisionEvent] = None
+
+    @property
+    def affected_versions(self) -> List[int]:
+        """Every bisected release inside the bad window."""
+        last = self.fixed if self.fixed is not None else self.versions[-1] + 1
+        return [v for v in self.versions if self.introduced <= v < last]
+
+    @property
+    def responsible(self) -> str:
+        """The event id credited with the window (``unknown`` if no event
+        matched either edge)."""
+        if self.introduced_event is not None:
+            return self.introduced_event.event_id
+        if self.fixed_event is not None:
+            return self.fixed_event.event_id
+        return "unknown"
+
+    @property
+    def window_label(self) -> str:
+        first = version_label(self.compiler, self.introduced)
+        if self.fixed is None:
+            return f"[{first}, trunk]"
+        return f"[{first}, {version_label(self.compiler, self.fixed)})"
+
+    def to_json(self) -> dict:
+        return {"compiler": self.compiler, "observed": self.observed,
+                "introduced": self.introduced, "fixed": self.fixed,
+                "probes": self.probes, "window": self.window_label,
+                "responsible": self.responsible,
+                "introduced_event": (self.introduced_event.event_id
+                                     if self.introduced_event else None),
+                "fixed_event": (self.fixed_event.event_id
+                                if self.fixed_event else None)}
+
+
+class RevisionBisector:
+    """Bisects probes over one compiler's simulated releases.
+
+    Args:
+        compiler: ``"gcc"`` or ``"llvm"``.
+        versions: release range to search (default: every simulated
+            release including trunk).  Narrow it when the probe is only
+            monotone on a sub-range — e.g. a marker probe whose pass did
+            not exist in the earliest releases.
+        events: release timeline to attribute edges against (default:
+            :func:`~repro.triage.events.release_timeline` of *compiler*).
+    """
+
+    def __init__(self, compiler: str,
+                 versions: Optional[Sequence[int]] = None,
+                 events: Optional[Sequence[RevisionEvent]] = None) -> None:
+        self.compiler = compiler
+        self.versions = sorted(versions) if versions is not None \
+            else all_versions(compiler)
+        if not self.versions:
+            raise ValueError("empty version range")
+        self.events = list(events) if events is not None \
+            else release_timeline(compiler)
+
+    def bisect(self, probe: Probe, observed: int,
+               relevant: Optional[Callable[[RevisionEvent], bool]] = None
+               ) -> BisectionResult:
+        """Locate the bad window around *observed* and name its edges.
+
+        *relevant* filters candidate edge events (probes supply it to rule
+        out, say, a ubsan defect explaining an asan finding).  Raises
+        :class:`BisectionError` when the probe is good at *observed* —
+        the caller should re-anchor (see :meth:`find_anchor`).
+        """
+        versions = self.versions
+        if observed not in versions:
+            raise ValueError(f"version {observed} outside bisected range "
+                             f"{versions[0]}..{versions[-1]}")
+        memo: Dict[int, bool] = {}
+
+        def check(version: int) -> bool:
+            if version not in memo:
+                memo[version] = bool(probe(version))
+            return memo[version]
+
+        if not check(observed):
+            raise BisectionError(
+                f"behaviour not reproducible at {version_label(self.compiler, observed)}")
+        anchor = versions.index(observed)
+
+        # Introducing edge: leftmost bad release of the contiguous window.
+        if check(versions[0]):
+            introduced = versions[0]
+        else:
+            lo, hi = 0, anchor  # invariant: lo good, hi bad
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                if check(versions[mid]):
+                    hi = mid
+                else:
+                    lo = mid
+            introduced = versions[hi]
+
+        # Fixing edge: first good release after the window (None if never).
+        if check(versions[-1]):
+            fixed = None
+        else:
+            lo, hi = anchor, len(versions) - 1  # invariant: lo bad, hi good
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                if check(versions[mid]):
+                    lo = mid
+                else:
+                    hi = mid
+            fixed = versions[hi]
+
+        return BisectionResult(
+            compiler=self.compiler, observed=observed, introduced=introduced,
+            fixed=fixed, probes=len(memo), versions=list(versions),
+            introduced_event=self._edge_event(introduced, INTRODUCING_KINDS,
+                                              relevant),
+            fixed_event=(self._edge_event(fixed, FIXING_KINDS, relevant)
+                         if fixed is not None else None))
+
+    def find_anchor(self, probe: Probe, preferred: Optional[int] = None
+                    ) -> Optional[int]:
+        """A version where the probe is bad, or ``None`` if there is none.
+
+        Tries *preferred* first, then sweeps newest-to-oldest — the linear
+        fallback for findings filed against releases where they no longer
+        reproduce (the probe budget only applies once anchored).
+        """
+        if preferred is not None and preferred in self.versions and probe(preferred):
+            return preferred
+        for version in reversed(self.versions):
+            if version != preferred and probe(version):
+                return version
+        return None
+
+    # -- internals ---------------------------------------------------------------
+
+    def _edge_event(self, version: int, kinds: Tuple[str, ...],
+                    relevant: Optional[Callable[[RevisionEvent], bool]]
+                    ) -> Optional[RevisionEvent]:
+        candidates = events_at(self.events, version, kinds)
+        if relevant is not None:
+            candidates = [e for e in candidates if relevant(e)]
+        return candidates[0] if candidates else None
+
+
+def exhaustive_edges(probe: Probe, versions: Sequence[int],
+                     observed: int) -> Tuple[int, Optional[int]]:
+    """Reference implementation: probe *every* release linearly and return
+    the ``(introduced, fixed)`` edges of the bad window containing
+    *observed*.  The property suite pins :meth:`RevisionBisector.bisect`
+    against this, which costs ``O(|versions|)`` probes instead of
+    ``O(log |versions|)``."""
+    versions = sorted(versions)
+    verdicts = {v: bool(probe(v)) for v in versions}
+    if not verdicts[observed]:
+        raise BisectionError(f"behaviour not reproducible at {observed}")
+    index = versions.index(observed)
+    start = index
+    while start > 0 and verdicts[versions[start - 1]]:
+        start -= 1
+    end = index
+    while end + 1 < len(versions) and verdicts[versions[end + 1]]:
+        end += 1
+    fixed = versions[end + 1] if end + 1 < len(versions) else None
+    return versions[start], fixed

@@ -1,0 +1,125 @@
+"""The simulated release timeline, as a list of attributable events.
+
+Every behaviour change a bisection can land on corresponds to one *event*
+in a compiler's release history:
+
+* a pass starts running (:data:`~repro.optim.pipelines.PASS_INTRODUCED`) —
+  code the optimizer used to retain is now eliminated;
+* an :class:`~repro.optim.pipelines.OptimizerDefect` window opens or
+  closes — a pass stops (and later resumes) running at some levels;
+* a seeded sanitizer :class:`~repro.sanitizers.defects.Defect` is
+  introduced or fixed — a sanitizer check disappears (and later returns).
+
+:func:`release_timeline` flattens all three sources into a sorted list of
+:class:`RevisionEvent`; the bisector looks up the events at the boundary
+versions it converges on to name the responsible change, the same way
+diopter-style bisection maps a culprit revision back to the commit that
+landed there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.compilers.versions import version_label
+from repro.optim.pipelines import (DEFAULT_OPTIMIZER_DEFECTS, PASS_INTRODUCED,
+                                   OptimizerDefect)
+from repro.sanitizers.defects import Defect, default_defects
+
+#: Event kinds.  ``*-introduced`` events make a behaviour appear (a finding
+#: becomes reproducible); ``*-fixed`` and ``pass-introduced`` events make it
+#: disappear (a pass landing eliminates code / a defect fix restores checks).
+PASS_INTRODUCED_EVENT = "pass-introduced"
+OPTIMIZER_DEFECT_INTRODUCED = "optimizer-defect-introduced"
+OPTIMIZER_DEFECT_FIXED = "optimizer-defect-fixed"
+SANITIZER_DEFECT_INTRODUCED = "sanitizer-defect-introduced"
+SANITIZER_DEFECT_FIXED = "sanitizer-defect-fixed"
+
+#: Kinds that can explain a behaviour *starting* at a version.
+INTRODUCING_KINDS = (OPTIMIZER_DEFECT_INTRODUCED, SANITIZER_DEFECT_INTRODUCED)
+
+#: Kinds that can explain a behaviour *stopping* at a version.
+FIXING_KINDS = (OPTIMIZER_DEFECT_FIXED, SANITIZER_DEFECT_FIXED,
+                PASS_INTRODUCED_EVENT)
+
+
+@dataclass(frozen=True)
+class RevisionEvent:
+    """One attributable change in a compiler's simulated release history.
+
+    ``subject`` names what changed (a pass name or a defect id);
+    ``payload`` carries the originating registry object (an
+    :class:`~repro.optim.pipelines.OptimizerDefect` or a sanitizer
+    :class:`~repro.sanitizers.defects.Defect`, ``None`` for pass
+    introductions) so probes can test relevance without re-resolving ids.
+    """
+
+    kind: str
+    compiler: str
+    version: int
+    subject: str
+    detail: str = ""
+    payload: object = field(default=None, compare=False, repr=False)
+
+    @property
+    def event_id(self) -> str:
+        """Stable content key, e.g. ``sanitizer-defect-fixed:gcc-14:gcc-asan-global-ptr-store``."""
+        return f"{self.kind}:{self.compiler}-{self.version}:{self.subject}"
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind} {self.subject} @ {version_label(self.compiler, self.version)}"
+
+
+def release_timeline(compiler: str,
+                     registry: Optional[Sequence[Defect]] = None,
+                     optimizer_defects: Sequence[OptimizerDefect] = DEFAULT_OPTIMIZER_DEFECTS
+                     ) -> List[RevisionEvent]:
+    """All attributable events of one compiler, sorted by version.
+
+    ``registry`` defaults to the full seeded sanitizer-defect registry;
+    pass a custom one to bisect against a reduced ground truth (tests do).
+    """
+    events: List[RevisionEvent] = []
+    for pass_name, version in PASS_INTRODUCED.get(compiler, {}).items():
+        events.append(RevisionEvent(
+            PASS_INTRODUCED_EVENT, compiler, version, pass_name,
+            detail=f"pass {pass_name} first runs in {version_label(compiler, version)}"))
+    for defect in optimizer_defects:
+        if defect.compiler != compiler:
+            continue
+        levels = ",".join(defect.opt_levels)
+        events.append(RevisionEvent(
+            OPTIMIZER_DEFECT_INTRODUCED, compiler, defect.introduced,
+            defect.pass_name,
+            detail=f"pass {defect.pass_name} stops running at {levels}",
+            payload=defect))
+        events.append(RevisionEvent(
+            OPTIMIZER_DEFECT_FIXED, compiler, defect.fixed, defect.pass_name,
+            detail=f"pass {defect.pass_name} resumes at {levels}",
+            payload=defect))
+    sanitizer_registry = registry if registry is not None else default_defects()
+    for defect in sanitizer_registry:
+        if defect.compiler != compiler:
+            continue
+        events.append(RevisionEvent(
+            SANITIZER_DEFECT_INTRODUCED, compiler, defect.introduced_version,
+            defect.defect_id,
+            detail=f"{defect.sanitizer} defect {defect.defect_id} introduced",
+            payload=defect))
+        if defect.fixed_version is not None:
+            events.append(RevisionEvent(
+                SANITIZER_DEFECT_FIXED, compiler, defect.fixed_version,
+                defect.defect_id,
+                detail=f"{defect.sanitizer} defect {defect.defect_id} fixed",
+                payload=defect))
+    events.sort(key=lambda e: (e.version, e.kind, e.subject))
+    return events
+
+
+def events_at(timeline: Sequence[RevisionEvent], version: int,
+              kinds: Optional[Sequence[str]] = None) -> List[RevisionEvent]:
+    """The timeline events landing exactly at *version* (optionally by kind)."""
+    return [e for e in timeline
+            if e.version == version and (kinds is None or e.kind in kinds)]

@@ -1,7 +1,10 @@
 """Tests for bug triage, deduplication and the fuzzing campaign."""
 
+import dataclasses
+
 import pytest
 
+from repro.compilers.versions import all_versions, trunk_version
 from repro.core import (
     BugTriager,
     CampaignConfig,
@@ -12,6 +15,7 @@ from repro.core import (
     UBType,
 )
 from repro.core.bugs import BugReport
+from repro.core.differential import TestConfig as Config
 from repro.sanitizers.defects import default_defects
 
 
@@ -115,3 +119,113 @@ def test_triager_deduplicate_merges_metadata():
     merged = BugTriager().deduplicate([make(["-O2"]), make(["-O3"])])
     assert len(merged) == 1
     assert set(merged[0].affected_opt_levels) == {"-O2", "-O3"}
+
+
+def _confirmed_fn_pair(small_campaign):
+    """(candidate, report) for an FN candidate attributed to an open
+    defect whose window started before trunk."""
+    triager = BugTriager()
+    for candidate in small_campaign.fn_candidates:
+        report = triager.triage_fn_candidate(candidate)
+        if (report.defect is not None and report.defect.fixed_version is None
+                and report.defect.introduced_version
+                < trunk_version(report.compiler)):
+            return candidate, report
+    pytest.skip("campaign found no open pre-trunk defect")
+
+
+def _never_fires(defect):
+    """A same-compiler/sanitizer decoy defect that never changes behaviour."""
+    return dataclasses.replace(
+        defect, defect_id="decoy-never-fires",
+        check_predicate=lambda expr, detail: False,
+        runtime_overrides={}, line_skew=0, fixed_version=None)
+
+
+def test_triager_attributes_defect_fixed_before_trunk(small_campaign):
+    """Pinned regression: a defect whose window closes at trunk must still
+    be attributed (probed at its newest active release) and must beat a
+    decoy that is active at trunk but explains nothing.  The trunk-only
+    probe could do neither: the fixed defect's removal changed nothing at
+    trunk, and removing *any* defect "detected" once nothing hid the UB."""
+    candidate, report = _confirmed_fn_pair(small_campaign)
+    defect = report.defect
+    trunk = trunk_version(report.compiler)
+    fixed = dataclasses.replace(defect, fixed_version=trunk)
+    # The decoy comes first so a wrong attribution order would pick it.
+    triager = BugTriager(registry=[_never_fires(defect), fixed])
+    fixed_report = triager.triage_fn_candidate(candidate)
+    assert fixed_report.defect is not None
+    assert fixed_report.defect.defect_id == defect.defect_id
+    assert fixed_report.status == STATUS_FIXED
+    assert not fixed_report.bug_id.startswith("unexplained-")
+    assert trunk not in fixed_report.affected_versions
+
+
+def test_triager_never_credits_an_inert_defect(small_campaign):
+    """With only the decoy registered nothing explains the miss: the
+    report must come back unexplained instead of crediting the decoy."""
+    candidate, report = _confirmed_fn_pair(small_campaign)
+    triager = BugTriager(registry=[_never_fires(report.defect)])
+    decoy_report = triager.triage_fn_candidate(candidate)
+    assert decoy_report.defect is None
+    assert decoy_report.status == STATUS_INVALID
+
+
+def test_wrong_report_versions_span_the_defect_window():
+    """Pinned regression: wrong-report bugs used to hardcode
+    ``affected_versions=[trunk]``; they must cover the responsible
+    defect's whole activity window."""
+    triager = BugTriager()
+    [defect] = [d for d in default_defects()
+                if d.defect_id == "gcc-ubsan-line-info"]
+    config = Config(compiler="gcc", sanitizer="ubsan", opt_level="-O0")
+    versions = triager._wrong_report_versions(defect, config)
+    expected = [v for v in all_versions("gcc")
+                if defect.active_for("gcc", v, "ubsan", "-O0")]
+    assert versions == expected
+    assert len(versions) > 1  # introduced at 12, open: 12..trunk
+    # A config outside the defect's declared levels falls back to the
+    # defect's own levels instead of failing to anchor.
+    off_level = Config(compiler="gcc", sanitizer="ubsan",
+                           opt_level="-O3")
+    assert triager._wrong_report_versions(defect, off_level) == expected
+    # No defect: the observation itself (trunk) is all we know.
+    assert triager._wrong_report_versions(None, config) == [
+        trunk_version("gcc")]
+
+
+def test_wrong_report_candidates_carry_bisected_versions(small_campaign):
+    for candidate in small_campaign.wrong_report_candidates[:3]:
+        report = BugTriager().triage_wrong_report(candidate)
+        assert report.affected_versions
+        if report.defect is not None:
+            for version in report.affected_versions:
+                assert report.defect.active_for(
+                    report.compiler, version, report.sanitizer,
+                    report.defect.opt_levels[0]
+                    if report.defect.opt_levels else "-O2")
+
+
+def test_triager_deduplicate_counts_merges_and_keeps_best_reduction():
+    """Pinned regression: deduplicate used to drop the merged duplicates'
+    metadata entirely — reduction work done on a duplicate was lost and
+    the merge count untracked."""
+    defect = default_defects()[0]
+    def make(levels, reduction=None):
+        metadata = {}
+        if reduction is not None:
+            metadata["reduction"] = reduction
+        return BugReport(bug_id="x", compiler="gcc", sanitizer="asan",
+                         ub_type=UBType.BUFFER_OVERFLOW_ARRAY, program=None,
+                         crash_site=None, defect=defect,
+                         affected_opt_levels=levels, affected_versions=[6],
+                         metadata=metadata)
+    first = make(["-O2"])
+    better = {"original_tokens": 100, "reduced_tokens": 10}
+    worse = {"original_tokens": 100, "reduced_tokens": 40}
+    [merged] = BugTriager().deduplicate([
+        first, make(["-O3"], worse), make(["-O1"], better), make(["-Os"])])
+    assert merged is first
+    assert merged.metadata["merged_duplicates"] == 3
+    assert merged.metadata["reduction"]["reduced_tokens"] == 10

@@ -1,0 +1,205 @@
+"""Bisector correctness: every seeded timeline event recovered exactly,
+probe counts logarithmic, and full parity with the linear reference."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compilers.versions import all_versions, trunk_version
+from repro.optim.pipelines import DEFAULT_OPTIMIZER_DEFECTS, PASS_INTRODUCED
+from repro.sanitizers.defects import default_defects
+from repro.triage import (
+    OPTIMIZER_DEFECT_FIXED,
+    OPTIMIZER_DEFECT_INTRODUCED,
+    PASS_INTRODUCED_EVENT,
+    SANITIZER_DEFECT_FIXED,
+    SANITIZER_DEFECT_INTRODUCED,
+    BisectionError,
+    RevisionBisector,
+    events_at,
+    exhaustive_edges,
+    probe_budget,
+    release_timeline,
+)
+
+
+class CountingProbe:
+    """Wraps a ``version -> bool`` predicate and counts distinct calls."""
+
+    def __init__(self, predicate):
+        self.predicate = predicate
+        self.calls = 0
+
+    def __call__(self, version: int) -> bool:
+        self.calls += 1
+        return self.predicate(version)
+
+
+def test_probe_budget_is_logarithmic():
+    assert probe_budget(1) == 3
+    assert probe_budget(2) == 5
+    assert probe_budget(10) == 11
+    assert probe_budget(16) == 11
+    # Doubling the timeline adds a constant number of probes, not 2x.
+    assert probe_budget(1024) == probe_budget(512) + 2
+
+
+def test_budget_covers_every_window_on_the_real_timeline():
+    """Worst case over every contiguous window and anchor of the real
+    timeline stays within the budget — the bound is not aspirational."""
+    versions = all_versions("gcc")
+    budget = probe_budget(len(versions))
+    worst = 0
+    for start in versions:
+        for end in versions + [versions[-1] + 1]:
+            if end <= start:
+                continue
+            for observed in versions:
+                if not start <= observed < end:
+                    continue
+                bisector = RevisionBisector("gcc", events=())
+                result = bisector.bisect(lambda v: start <= v < end, observed)
+                assert (result.introduced, result.fixed) == (
+                    start, end if end <= versions[-1] else None)
+                worst = max(worst, result.probes)
+    assert worst <= budget
+
+
+@pytest.mark.parametrize("defect", DEFAULT_OPTIMIZER_DEFECTS,
+                         ids=lambda d: f"{d.compiler}-{d.pass_name}")
+def test_every_seeded_optimizer_defect_window_is_recovered(defect):
+    """Bisecting a probe that is bad exactly inside the defect window must
+    name both edge events, for every possible observation point."""
+    versions = all_versions(defect.compiler)
+    in_window = lambda v: defect.introduced <= v < defect.fixed
+    for observed in range(defect.introduced, defect.fixed):
+        probe = CountingProbe(in_window)
+        result = RevisionBisector(defect.compiler).bisect(probe, observed)
+        assert result.introduced == defect.introduced
+        assert result.fixed == defect.fixed
+        assert probe.calls == result.probes <= probe_budget(len(versions))
+        assert result.introduced_event is not None
+        assert result.introduced_event.kind == OPTIMIZER_DEFECT_INTRODUCED
+        assert result.introduced_event.subject == defect.pass_name
+        assert result.fixed_event is not None
+        assert result.fixed_event.kind == OPTIMIZER_DEFECT_FIXED
+        assert result.fixed_event.payload is defect
+        assert (result.introduced, result.fixed) == exhaustive_edges(
+            in_window, versions, observed)
+
+
+@pytest.mark.parametrize("compiler", ("gcc", "llvm"))
+def test_every_pass_introduction_edge_is_recovered(compiler):
+    """A behaviour that disappears when a pass lands (a missed optimization
+    being fixed) bisects to the pass-introduced event."""
+    versions = all_versions(compiler)
+    for pass_name, landed in PASS_INTRODUCED[compiler].items():
+        if landed <= versions[0]:
+            continue
+        before_pass = lambda v: v < landed
+        probe = CountingProbe(before_pass)
+        result = RevisionBisector(compiler).bisect(probe, landed - 1)
+        assert result.introduced == versions[0]
+        assert result.fixed == landed
+        assert probe.calls <= probe_budget(len(versions))
+        assert result.fixed_event is not None
+        assert result.fixed_event.kind == PASS_INTRODUCED_EVENT
+        assert result.fixed_event.subject == pass_name
+        assert (result.introduced, result.fixed) == exhaustive_edges(
+            before_pass, versions, landed - 1)
+
+
+def _defect_opt_level(defect):
+    return defect.opt_levels[0] if defect.opt_levels else "-O2"
+
+
+@pytest.mark.parametrize("defect", default_defects(),
+                         ids=lambda d: d.defect_id)
+def test_every_seeded_sanitizer_defect_window_is_recovered(defect):
+    """Each sanitizer defect's activity window bisects back to its own
+    introduction (and fix) events on the timeline."""
+    compiler, versions = defect.compiler, all_versions(defect.compiler)
+    opt_level = _defect_opt_level(defect)
+    active = lambda v: defect.active_for(compiler, v, defect.sanitizer,
+                                         opt_level)
+    observed = defect.introduced_version
+    mine = lambda event: event.subject == defect.defect_id
+    probe = CountingProbe(active)
+    result = RevisionBisector(compiler).bisect(probe, observed, relevant=mine)
+    assert result.introduced == defect.introduced_version
+    assert result.fixed == defect.fixed_version
+    assert probe.calls <= probe_budget(len(versions))
+    assert result.introduced_event is not None
+    assert result.introduced_event.kind == SANITIZER_DEFECT_INTRODUCED
+    assert result.introduced_event.payload is defect
+    if defect.fixed_version is not None:
+        assert result.fixed_event is not None
+        assert result.fixed_event.kind == SANITIZER_DEFECT_FIXED
+        assert result.fixed_event.subject == defect.defect_id
+    assert (result.introduced, result.fixed) == exhaustive_edges(
+        active, versions, observed)
+
+
+@given(data=st.data())
+def test_bisection_matches_exhaustive_sweep(data):
+    """Property: for any contiguous bad window over any version range and
+    any anchor inside it, bisect() and the linear sweep agree, within the
+    probe budget."""
+    first = data.draw(st.integers(min_value=1, max_value=30), label="first")
+    count = data.draw(st.integers(min_value=1, max_value=40), label="count")
+    versions = list(range(first, first + count))
+    start = data.draw(st.sampled_from(versions), label="start")
+    end = data.draw(st.integers(min_value=start + 1,
+                                max_value=versions[-1] + 1), label="end")
+    observed = data.draw(st.integers(min_value=start, max_value=end - 1),
+                         label="observed")
+    in_window = lambda v: start <= v < end
+    probe = CountingProbe(in_window)
+    bisector = RevisionBisector("gcc", versions=versions, events=())
+    result = bisector.bisect(probe, observed)
+    expected_fixed = end if end <= versions[-1] else None
+    assert (result.introduced, result.fixed) == (start, expected_fixed)
+    assert (result.introduced, result.fixed) == exhaustive_edges(
+        in_window, versions, observed)
+    assert probe.calls == result.probes <= probe_budget(count)
+    assert result.affected_versions == list(range(start, end))
+
+
+def test_bisect_rejects_a_good_anchor():
+    bisector = RevisionBisector("gcc", events=())
+    with pytest.raises(BisectionError):
+        bisector.bisect(lambda v: False, trunk_version("gcc"))
+    with pytest.raises(BisectionError):
+        exhaustive_edges(lambda v: False, all_versions("gcc"),
+                         trunk_version("gcc"))
+
+
+def test_bisect_rejects_out_of_range_observation():
+    with pytest.raises(ValueError):
+        RevisionBisector("gcc", versions=[5, 6, 7]).bisect(lambda v: True, 9)
+
+
+def test_find_anchor_prefers_then_sweeps():
+    bisector = RevisionBisector("gcc", events=())
+    assert bisector.find_anchor(lambda v: True,
+                                preferred=10) == 10
+    # Preferred is good: fall back to the newest bad release.
+    assert bisector.find_anchor(lambda v: v <= 8, preferred=12) == 8
+    assert bisector.find_anchor(lambda v: False, preferred=12) is None
+
+
+def test_release_timeline_is_sorted_and_attributable():
+    for compiler in ("gcc", "llvm"):
+        timeline = release_timeline(compiler)
+        assert timeline == sorted(timeline,
+                                  key=lambda e: (e.version, e.kind, e.subject))
+        assert all(event.compiler == compiler for event in timeline)
+        # Every pass introduction appears exactly once.
+        for pass_name, landed in PASS_INTRODUCED[compiler].items():
+            [event] = [e for e in events_at(timeline, landed)
+                       if e.kind == PASS_INTRODUCED_EVENT
+                       and e.subject == pass_name]
+            assert event.event_id == (f"pass-introduced:{compiler}-{landed}:"
+                                      f"{pass_name}")
